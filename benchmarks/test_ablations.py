@@ -1,0 +1,34 @@
+"""Benchmarks: ablation sweeps (array size, mesh latency, FIFO depth)."""
+
+from repro.experiments import ablations
+
+
+def test_array_size_sweep(benchmark, scale):
+    result = benchmark.pedantic(
+        ablations.array_size_sweep, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    speedups = [r["speedup"] for r in result.rows]
+    assert all(s > 1.05 for s in speedups)
+
+
+def test_mesh_latency_sweep(benchmark, scale):
+    result = benchmark.pedantic(
+        ablations.mesh_latency_sweep, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    gains = [r["cn_speedup_geomean"] for r in result.rows]
+    # The dedicated network matters more the slower the mesh is.
+    assert gains == sorted(gains)
+    assert result.summary["gain slope (10c vs 2c mesh)"] > 1.0
+
+
+def test_fifo_depth_sweep(benchmark):
+    result = benchmark.pedantic(
+        ablations.fifo_depth_sweep, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    assert result.summary["all depths correct"] == 1.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 11 (PE execution model comparison)."""
+
+from repro.experiments import fig11_pe_models
+
+
+def test_fig11_pe_models(benchmark, scale):
+    result = benchmark.pedantic(
+        fig11_pe_models.run, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    assert len(result.rows) == 10
+    assert result.summary["geomean speedup vs von Neumann PE"] > 1.05
+    assert result.summary["geomean speedup vs dataflow PE"] > 1.1

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 12 (control network speedup)."""
+
+from repro.experiments import fig12_control_network
+
+
+def test_fig12_control_network(benchmark, scale):
+    result = benchmark.pedantic(
+        fig12_control_network.run, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    geomean = result.summary["geomean control-network speedup"]
+    assert 1.02 <= geomean <= 1.6  # paper: 1.14x
+    assert all(r["with_control_network"] >= 1.0 for r in result.rows)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 13 (network delay vs stages/frequency)."""
+
+from repro.experiments import fig13_network_scaling
+
+
+def test_fig13_network_scaling(benchmark):
+    result = benchmark.pedantic(
+        fig13_network_scaling.run, rounds=3, iterations=1
+    )
+    print()
+    print(result.to_table())
+    assert result.summary["prototype latency cycles @500MHz"] == 1.0
+    # Latency in cycles stays low even at 2 GHz (the scalability claim).
+    worst = max(
+        r["latency_cycles"] for r in result.rows if r["frequency_ghz"] == 2.0
+    )
+    assert worst <= 6

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 14 (Agile PE Assignment speedup)."""
+
+from repro.experiments import fig14_agile
+
+
+def test_fig14_agile(benchmark, scale):
+    result = benchmark.pedantic(
+        fig14_agile.run, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    assert 1.3 <= result.summary["geomean Agile speedup"] <= 3.5  # paper 2.03
+    gains = {r["kernel"]: r["with_agile"] for r in result.rows}
+    assert gains["GEMM"] > 1.8 and gains["HT"] > 1.8
+    assert abs(gains["ADPCM"] - 1.0) < 0.05

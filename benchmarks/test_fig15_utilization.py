@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 15 (utilization effects of Agile)."""
+
+from repro.experiments import fig15_utilization
+
+
+def test_fig15_utilization(benchmark, scale):
+    result = benchmark.pedantic(
+        fig15_utilization.run, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    assert len(result.rows) == 7
+    assert result.summary["mean outer-BB utilization gain"] > 1.5
+    assert result.summary["mean pipeline utilization gain"] > 1.05

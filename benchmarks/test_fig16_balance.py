@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 16 (network vs Agile speedup balance)."""
+
+from repro.experiments import fig16_balance
+
+
+def test_fig16_balance(benchmark, scale):
+    result = benchmark.pedantic(
+        fig16_balance.run, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    dominant = {r["kernel"]: r["dominant"] for r in result.rows}
+    assert dominant["CRC"] == "network"
+    assert dominant["ADPCM"] == "network"
+    for kernel in ("VI", "HT", "SCD", "GEMM"):
+        assert dominant[kernel] == "pipeline"

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 17 (vs state-of-the-art architectures)."""
+
+from repro.experiments import fig17_sota
+
+
+def test_fig17_sota(benchmark, scale):
+    result = benchmark.pedantic(
+        fig17_sota.run, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    assert len(result.rows) == 13
+    gaps = {
+        rival: result.summary[f"geomean speedup vs {rival}"]
+        for rival in ("softbrain", "tia", "revel", "riptide")
+    }
+    # Paper: 2.88x / 3.38x / 1.55x / 2.66x — assert ordering + coarse bands.
+    assert all(gap > 1.1 for gap in gaps.values())
+    assert gaps["revel"] == min(gaps.values())
+    assert gaps["tia"] == max(gaps.values())
+    assert 0.7 <= result.summary[
+        "geomean vs best rival (non-intensive)"
+    ] <= 1.4

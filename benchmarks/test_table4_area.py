@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 4 (area and power breakdown)."""
+
+import pytest
+
+from repro.experiments import table4_area
+
+
+def test_table4_area(benchmark):
+    result = benchmark.pedantic(table4_area.run, rounds=3, iterations=1)
+    print()
+    print(result.to_table())
+    assert result.summary["total area mm^2"] == pytest.approx(
+        0.151, abs=0.005
+    )
+    assert result.summary["total power mW"] == pytest.approx(152.09, abs=1.0)

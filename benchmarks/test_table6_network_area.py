@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 6 (network area comparison)."""
+
+from repro.experiments import table6_network_area
+
+
+def test_table6_network_area(benchmark):
+    result = benchmark.pedantic(
+        table6_network_area.run, rounds=3, iterations=1
+    )
+    print()
+    print(result.to_table())
+    ratios = {
+        r["architecture"]: r["network_ratio_pct"] for r in result.rows
+    }
+    ours = ratios.pop("Marionette")
+    assert ours < 20.0              # paper: 11.5%
+    assert all(ours < other for other in ratios.values())

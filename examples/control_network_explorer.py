@@ -1,0 +1,98 @@
+"""Control network explorer (paper Section 4.1 / Fig. 6, Fig. 13, Table 6).
+
+Interactively demonstrates the CS-Benes control network substrate:
+
+* routes a permutation through a 64x64 Benes network and verifies it by
+  pushing values through the configured switches;
+* broadcasts with the consecutive-spreading stage;
+* delivers multicast control messages through the composed network;
+* sweeps the Fig. 13 delay-vs-stages-vs-frequency model;
+* prints the Table 6 area comparison.
+
+Run:  python examples/control_network_explorer.py
+"""
+
+import random
+
+from repro.arch.network import (
+    BenesNetwork,
+    Broadcast,
+    ControlMessage,
+    ControlNetwork,
+    CSNetwork,
+)
+from repro.arch.network.area import delay_model, stages_for_array
+from repro.perf.area import table6_rows
+
+
+def benes_demo() -> None:
+    print("=== 64x64 Benes permutation routing ===")
+    net = BenesNetwork(64)
+    rng = random.Random(7)
+    permutation = list(range(64))
+    rng.shuffle(permutation)
+    config = net.route(permutation)
+    outputs = net.simulate(config, list(range(64)))
+    assert all(outputs[permutation[i]] == i for i in range(64))
+    print(f"  {net.stages} stages, {net.switch_count} switches "
+          f"(vs {64 * 64} crossbar crosspoints); random permutation "
+          "routed and verified")
+
+
+def cs_demo() -> None:
+    print("\n=== 16x16 consecutive-spreading broadcast ===")
+    net = CSNetwork(16)
+    broadcasts = [Broadcast(1, 0, 5), Broadcast(4, 6, 11),
+                  Broadcast(9, 12, 15)]
+    outputs = net.apply(broadcasts, [f"cfg{i}" for i in range(16)])
+    print(f"  three broadcasts -> outputs: {outputs}")
+    crossing = [Broadcast(9, 0, 3), Broadcast(1, 8, 11)]
+    print(f"  crossing request admissible? {net.admissible(crossing)} "
+          "(source order must match range order)")
+
+
+def control_network_demo() -> None:
+    print("\n=== Composed CS-Benes control network ===")
+    net = ControlNetwork(16)
+    delivered = net.realise([
+        ControlMessage.to(0, [4, 5, 6, 7], payload="BB3 @0x12"),
+        ControlMessage.to(9, [1, 2], payload="BB5 @0x07"),
+    ])
+    print(f"  multicast delivered: {delivered}")
+    report = net.offer([
+        ControlMessage.to(2, [8], "a"),
+        ControlMessage.to(3, [8], "b"),   # destination conflict
+    ])
+    print(f"  conflicting offer: {len(report.delivered)} delivered, "
+          f"{len(report.rejected)} retried next cycle")
+
+
+def scaling_demo() -> None:
+    print("\n=== Fig. 13: delay vs stages vs synthesis frequency ===")
+    print(f"  {'stages':>6} {'0.5 GHz':>10} {'1 GHz':>10} {'2 GHz':>10}")
+    for stages in (3, 7, 11, 15, 19):
+        row = [
+            delay_model(stages, f)["latency_cycles"]
+            for f in (0.5, 1.0, 2.0)
+        ]
+        print(f"  {stages:>6} {row[0]:>9}c {row[1]:>9}c {row[2]:>9}c")
+    proto = stages_for_array(16)
+    print(f"  4x4 prototype = {proto} stages -> "
+          f"{delay_model(proto, 0.5)['latency_cycles']} cycle at 500 MHz")
+
+
+def area_demo() -> None:
+    print("\n=== Table 6: network area ratio ===")
+    for row in table6_rows():
+        print(f"  {row['architecture']:<12} network "
+              f"{row['network_area']:.4f} mm^2 / fabric "
+              f"{row['computing_fabric']:.4f} mm^2 = "
+              f"{100 * row['network_ratio']:5.1f}%")
+
+
+if __name__ == "__main__":
+    benes_demo()
+    cs_demo()
+    control_network_demo()
+    scaling_demo()
+    area_demo()

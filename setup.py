@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

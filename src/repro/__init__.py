@@ -1,0 +1,27 @@
+"""Marionette: a spatial architecture with a decoupled control flow plane.
+
+Reproduction of Deng et al., *Towards Efficient Control Flow Handling in
+Spatial Architecture via Architecting the Control Flow Plane* (MICRO 2023).
+
+Public API layers:
+
+* :mod:`repro.ir` — the CDFG intermediate representation, KernelBuilder DSL,
+  functional interpreter and analyses;
+* :mod:`repro.arch` — hardware structure: parameters, PE grid, data mesh and
+  the CS-Benes control network;
+* :mod:`repro.isa` — the Marionette control-plane/data-plane ISA;
+* :mod:`repro.sim` — micro-architectural cycle simulator of the PE array;
+* :mod:`repro.compiler` — placement, routing, and the Agile PE Assignment
+  scheduler;
+* :mod:`repro.baselines` — execution-model simulators for Marionette and the
+  comparison architectures (von Neumann / dataflow PE arrays, Softbrain,
+  TIA, REVEL, RipTide);
+* :mod:`repro.workloads` — the 13 evaluation kernels;
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

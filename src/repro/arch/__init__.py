@@ -1,0 +1,6 @@
+"""Hardware structure: parameters, PE grid topology, and networks."""
+
+from repro.arch.params import ArchParams, DEFAULT_PARAMS
+from repro.arch.topology import Coord, Grid
+
+__all__ = ["ArchParams", "DEFAULT_PARAMS", "Coord", "Grid"]

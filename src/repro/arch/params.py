@@ -1,0 +1,90 @@
+"""Architecture parameters.
+
+One :class:`ArchParams` instance describes a Marionette configuration and is
+shared by the compiler, the micro-architectural simulator, and the
+trace-driven execution models — mirroring the paper's "parameterizable design
+yields an architectural description shared with the software stack and
+simulator" (Section 5).
+
+Timing defaults follow the paper's relative-cost assumptions:
+
+* configuring a PE takes 1 cycle, executing an instruction takes 2 cycles
+  (Section 2.3);
+* a transfer through the data mesh costs ~6 cycles, through the dedicated
+  control network 1 cycle (Figure 4(d));
+* a centralized-control-unit round trip (branch PE -> CCU -> branch-target
+  reconfiguration) therefore costs two mesh traversals plus the decision and
+  the configuration write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """A Marionette hardware configuration."""
+
+    rows: int = 4
+    cols: int = 4
+
+    # Relative timing (cycles).
+    t_config: int = 1
+    t_execute: int = 2
+    data_net_latency: int = 6
+    ctrl_net_latency: int = 1
+    mesh_hop_latency: int = 1
+
+    # Memory system.
+    sram_banks: int = 4
+    sram_kb: int = 16
+    inst_scratchpad_kb: int = 2
+    control_fifo_depth: int = 8
+
+    # PE mix (Table 4: 12 ordinary + 4 nonlinear-fitting PEs).
+    nonlinear_pes: int = 4
+
+    # Physical.
+    frequency_mhz: int = 500
+    technology_nm: int = 28
+    data_width_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError("array dimensions must be positive")
+        if self.nonlinear_pes > self.rows * self.cols:
+            raise ConfigurationError(
+                "more nonlinear PEs than PEs in the array"
+            )
+        for name in ("t_config", "t_execute", "data_net_latency",
+                     "ctrl_net_latency", "mesh_hop_latency"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def n_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def ccu_round_trip(self) -> int:
+        """Cost of indirecting control through the centralized control unit.
+
+        Branch result travels to the CCU over the data/config network, the
+        CCU decides, then re-configures the target PEs — two traversals plus
+        decision plus configuration write (paper Section 3.2, Fig. 3(c)).
+        """
+        return 2 * self.data_net_latency + 1 + self.t_config
+
+    def scaled(self, rows: int, cols: int) -> "ArchParams":
+        """A copy with a different array size (for scalability studies)."""
+        nonlinear = min(self.nonlinear_pes, rows * cols)
+        return replace(self, rows=rows, cols=cols, nonlinear_pes=nonlinear)
+
+
+#: The prototype configuration evaluated in the paper (4x4 PEs, 28 nm,
+#: 500 MHz, 16 KB data scratchpad, 2 KB instruction scratchpad).
+DEFAULT_PARAMS = ArchParams()

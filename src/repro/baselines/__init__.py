@@ -1,0 +1,43 @@
+"""Architecture execution models (tier (b) of the evaluation stack).
+
+One shared engine (:mod:`repro.baselines.base`) walks a kernel's loop-nest
+tree with its dynamic trace and prices pipeline startups, steady-state
+initiations, drains, and control transfers.  Each architecture is a
+:class:`~repro.baselines.base.ModelConfig` preset that toggles the
+*mechanisms* the paper contrasts — CCU indirection, token-coupled
+configuration, control-through-data-path, proactive configuration, the
+dedicated control network, and Agile PE Assignment — so the performance
+differences emerge from mechanism, not from per-benchmark constants.
+"""
+
+from repro.baselines.base import (
+    ArchModel,
+    CycleResult,
+    KernelInstance,
+    LoopBreakdown,
+    ModelConfig,
+)
+from repro.baselines.von_neumann import VonNeumannModel
+from repro.baselines.dataflow import DataflowModel
+from repro.baselines.marionette import MarionetteModel
+from repro.baselines.softbrain import SoftbrainModel
+from repro.baselines.tia import TIAModel
+from repro.baselines.revel import RevelModel
+from repro.baselines.riptide import RipTideModel
+from repro.baselines.ideal import IdealModel
+
+__all__ = [
+    "ArchModel",
+    "CycleResult",
+    "KernelInstance",
+    "LoopBreakdown",
+    "ModelConfig",
+    "VonNeumannModel",
+    "DataflowModel",
+    "MarionetteModel",
+    "SoftbrainModel",
+    "TIAModel",
+    "RevelModel",
+    "RipTideModel",
+    "IdealModel",
+]

@@ -1,0 +1,33 @@
+"""Dataflow PE array model (paper Section 3.3, Fig. 2(b)/3(e)/(f)).
+
+Mechanisms: tags let branch arms share PEs and reconfigure autonomously,
+but control and data are coupled in the token — every initiation pays the
+tag-match/configure stage (longer pipeline II), and control information can
+only travel the data path (no dedicated control network, serial outer-BB
+execution inflated by per-op token handling).
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import ArchParams
+from repro.baselines.base import ArchModel, ModelConfig
+
+
+class DataflowModel(ArchModel):
+    """The tagged dataflow PE array of Fig. 2(b)."""
+
+    def __init__(self, params: ArchParams) -> None:
+        super().__init__(params, ModelConfig(
+            name="dataflow PE",
+            arms_share_pes=True,            # tags select the configuration
+            static_whole_kernel=False,      # configs fetched by token
+            # Fig. 2(b): the configuration stage is a consequent operation
+            # of data entry — config then execute, unoverlapped, per token.
+            per_token_config=params.t_config + 1,
+            ctrl_latency=params.data_net_latency,  # control rides data path
+            uses_ccu=False,
+            config_visible=False,           # folded into per-token config
+            outer_pipelined=False,
+            outer_serial_factor=1.5,        # token handling on outer BBs
+            unroll_spare=False,             # single token stream per graph
+        ))

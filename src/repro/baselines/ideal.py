@@ -1,0 +1,31 @@
+"""The ideal PE of paper Fig. 3(g)/(h): a lower bound.
+
+Autonomous, peer-to-peer with zero-latency control, temporally
+loosely-coupled with free configuration, perfectly overlapped outer
+pipelines.  Only structure remains: resource-constrained IIs, dataflow
+critical paths, and iteration counts.  Every real model should be bounded
+below by this one (asserted by tests).
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import ArchParams
+from repro.baselines.base import ArchModel, ModelConfig
+
+
+class IdealModel(ArchModel):
+    """Zero-overhead control flow handling."""
+
+    def __init__(self, params: ArchParams) -> None:
+        super().__init__(params, ModelConfig(
+            name="ideal PE",
+            arms_share_pes=True,
+            static_whole_kernel=False,
+            per_token_config=0,
+            ctrl_latency=1,
+            uses_ccu=False,
+            config_visible=False,
+            outer_pipelined=True,
+            loop_fifo=True,
+            unroll_spare=True,
+        ))

@@ -1,0 +1,36 @@
+"""RipTide-like control-in-network model (Gobieski et al., MICRO'22).
+
+RipTide compiles the whole program to a dataflow graph once and maps
+control-flow operators *into the network switches* — no CCU, no per-token
+reconfiguration, extremely energy-efficient.  The costs the paper calls out
+(Section 8): the whole kernel is statically resident (its 16 fully
+functional PEs plus 25 in-network control operators are a fixed budget),
+and control transfers through the network are "slow and inflexible" —
+control and data still share the fabric, so the effective control latency
+exceeds a dedicated plane's.
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import ArchParams
+from repro.baselines.base import ArchModel, ModelConfig
+
+
+class RipTideModel(ArchModel):
+    """Control operators in the network, statically mapped kernels."""
+
+    def __init__(self, params: ArchParams) -> None:
+        super().__init__(params, ModelConfig(
+            name="RipTide",
+            arms_share_pes=True,        # in-network steering merges arms
+            static_whole_kernel=True,   # one static dataflow configuration
+            per_token_config=0,
+            # Control shares the data NoC, crosses more switches, and
+            # steering ops serialise at merge points.
+            ctrl_latency=params.data_net_latency + 4,
+            uses_ccu=False,
+            config_visible=False,
+            outer_pipelined=False,
+            outer_serial_factor=1.2,    # control ops steal switch bandwidth
+            unroll_spare=True,
+        ))

@@ -1,0 +1,34 @@
+"""Softbrain-like stream-dataflow model (Nowatzki et al., ISCA'17).
+
+Softbrain couples a coarse-grained fabric to a control core that fetches
+instructions and drives stream engines.  Streams make it excellent on
+regular inner loops (spatial unrolling when the fabric has room), but all
+control flow — branch outcomes, data-dependent loop bounds, pipeline
+re-steering — detours through the host core: a CCU in this taxonomy
+(paper Table 2 lists Softbrain under "processor fetches instruction from
+memory"), with an extra dispatch cost per pipeline startup.
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import ArchParams
+from repro.baselines.base import ArchModel, ModelConfig
+
+
+class SoftbrainModel(ArchModel):
+    """Stream-dataflow: fast streams, host-mediated control."""
+
+    def __init__(self, params: ArchParams) -> None:
+        super().__init__(params, ModelConfig(
+            name="Softbrain",
+            arms_share_pes=False,      # predication in the fabric
+            static_whole_kernel=False,  # streams reconfigure regions
+            per_token_config=0,
+            ctrl_latency=params.data_net_latency,
+            uses_ccu=True,             # the host core mediates control
+            ccu_every_entry=True,      # every stream launch is host-issued
+            config_visible=True,
+            outer_pipelined=False,
+            startup_extra=4,           # stream dispatch from the core
+            unroll_spare=True,
+        ))

@@ -1,0 +1,34 @@
+"""TIA-like triggered-instructions model (Parashar et al., ISCA'13).
+
+Triggered instructions give each PE autonomous, predicate-driven
+instruction selection — branch arms share PEs and no CCU is involved (the
+one ✓ TIA earns in paper Table 3).  But the trigger resolution is part of
+every initiation (a dataflow PE in this taxonomy: scheduler selects
+instructions based on input data), so the pipeline II carries the
+tag/trigger stage, and control still travels the data fabric.
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import ArchParams
+from repro.baselines.base import ArchModel, ModelConfig
+
+
+class TIAModel(ArchModel):
+    """Triggered instructions: autonomous but token-coupled."""
+
+    def __init__(self, params: ArchParams) -> None:
+        super().__init__(params, ModelConfig(
+            name="TIA",
+            arms_share_pes=True,           # predicates select instructions
+            static_whole_kernel=False,
+            # Trigger resolution + operand matching per initiation, not
+            # overlapped with execution (Fig. 2(b) timing).
+            per_token_config=params.t_config + 1,
+            ctrl_latency=params.data_net_latency,
+            uses_ccu=False,
+            config_visible=False,
+            outer_pipelined=False,
+            outer_serial_factor=1.5,       # per-op trigger on outer BBs
+            unroll_spare=False,
+        ))

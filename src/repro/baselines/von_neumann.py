@@ -1,0 +1,30 @@
+"""Von Neumann PE array model (paper Section 3.2, Fig. 3(c)/(d)).
+
+Mechanisms: the whole kernel is statically resident (every BB competes for
+PEs — Predication consumes PEs for both branch arms), configuration is not
+overlapped with computation, and any control decision that must re-target
+other PEs (data-dependent loop bounds, capacity overflow) detours through
+the Centralized Control Unit while the array idles.
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import ArchParams
+from repro.baselines.base import ArchModel, ModelConfig
+
+
+class VonNeumannModel(ArchModel):
+    """The evolved von Neumann PE array of Fig. 2(a)."""
+
+    def __init__(self, params: ArchParams) -> None:
+        super().__init__(params, ModelConfig(
+            name="von Neumann PE",
+            arms_share_pes=False,       # Predication maps both arms
+            static_whole_kernel=True,   # no autonomous reconfiguration
+            per_token_config=0,
+            ctrl_latency=params.data_net_latency,
+            uses_ccu=True,              # control hand-off via the CCU
+            config_visible=True,        # no Proactive PE Configuration
+            outer_pipelined=False,
+            unroll_spare=True,          # classic CGRA unrolling when space
+        ))

@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report [--scale S]`` — regenerate every table/figure;
+* ``experiment NAME [--scale S]`` — one experiment (fig11..fig17,
+  table4, table6, ablations);
+* ``workloads [--scale S]`` — run + verify the benchmark suite, printing
+  each kernel's control flow profile (Table 1 / Table 5 view);
+* ``simulate KERNEL [--scale S]`` — price one kernel on every
+  architecture model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.arch.params import DEFAULT_PARAMS
+from repro.baselines import (
+    DataflowModel,
+    IdealModel,
+    MarionetteModel,
+    RevelModel,
+    RipTideModel,
+    SoftbrainModel,
+    TIAModel,
+    VonNeumannModel,
+)
+from repro.baselines.base import KernelInstance
+from repro.ir import analysis
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+_EXPERIMENTS = (
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+    "table4", "table6", "ablations",
+)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_report
+
+    print(render_report(args.scale))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ablations,
+        fig11_pe_models,
+        fig12_control_network,
+        fig13_network_scaling,
+        fig14_agile,
+        fig15_utilization,
+        fig16_balance,
+        fig17_sota,
+        table4_area,
+        table6_network_area,
+    )
+
+    if args.name == "fig13":
+        fig13_network_scaling.run().print()
+    elif args.name == "table4":
+        table4_area.run().print()
+    elif args.name == "table6":
+        table6_network_area.run().print()
+    elif args.name == "ablations":
+        for result in ablations.run(args.scale):
+            result.print()
+            print()
+    else:
+        module = {
+            "fig11": fig11_pe_models,
+            "fig12": fig12_control_network,
+            "fig14": fig14_agile,
+            "fig15": fig15_utilization,
+            "fig16": fig16_balance,
+            "fig17": fig17_sota,
+        }[args.name]
+        module.run(args.scale).print()
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    header = (f"{'kernel':<8} {'group':<14} {'blocks':>6} {'ops':>5} "
+              f"{'loops':>5} {'depth':>5} {'branches':>8} "
+              f"{'under-branch%':>13} {'dyn ops':>9}")
+    print(header)
+    print("-" * len(header))
+    for workload in ALL_WORKLOADS:
+        instance = workload.instance(args.scale)
+        instance.check()
+        profile = analysis.profile(instance.cdfg, instance.run().trace)
+        print(f"{workload.short:<8} {workload.group:<14} "
+              f"{profile.blocks:>6} {profile.static_ops:>5} "
+              f"{profile.loop_count:>5} {profile.max_loop_depth:>5} "
+              f"{profile.divergent_branches:>8} "
+              f"{profile.ops_under_branch_pct:>12.1f}% "
+              f"{profile.dynamic_ops:>9}")
+    print("\nall outputs verified against reference implementations")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    workload = get_workload(args.kernel)
+    instance = workload.instance(args.scale)
+    instance.check()
+    kernel = KernelInstance(instance.cdfg, instance.run().trace)
+    params = DEFAULT_PARAMS
+    models = [
+        VonNeumannModel(params),
+        DataflowModel(params),
+        SoftbrainModel(params),
+        TIAModel(params),
+        RevelModel(params),
+        RipTideModel(params),
+        MarionetteModel(params, control_network=False, agile=False),
+        MarionetteModel(params),
+        IdealModel(params),
+    ]
+    print(f"{workload.name} @ {args.scale}: {instance.cdfg.summary()}")
+    baseline = None
+    for model in models:
+        cycles = model.simulate(kernel).cycles
+        baseline = baseline or cycles
+        print(f"  {model.config.name:<36} {cycles:>9} cycles "
+              f"({baseline / cycles:5.2f}x)")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Marionette (MICRO'23) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="all tables and figures")
+    p_report.add_argument("--scale", default="small",
+                          choices=("tiny", "small", "paper"))
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_exp = sub.add_parser("experiment", help="one table/figure")
+    p_exp.add_argument("name", choices=_EXPERIMENTS)
+    p_exp.add_argument("--scale", default="small",
+                       choices=("tiny", "small", "paper"))
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_wl = sub.add_parser("workloads", help="run + profile the suite")
+    p_wl.add_argument("--scale", default="tiny",
+                      choices=("tiny", "small", "paper"))
+    p_wl.set_defaults(fn=_cmd_workloads)
+
+    p_sim = sub.add_parser("simulate", help="one kernel on every model")
+    p_sim.add_argument("kernel")
+    p_sim.add_argument("--scale", default="small",
+                       choices=("tiny", "small", "paper"))
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

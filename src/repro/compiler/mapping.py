@@ -1,0 +1,113 @@
+"""Mapping data structures shared by the placement and scheduling passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompilationError
+from repro.arch.topology import Coord
+from repro.ir.cfg import BlockId
+from repro.ir.dfg import NodeId
+
+
+@dataclass
+class BBPlacement:
+    """One basic block mapped onto a set of PEs.
+
+    Attributes:
+        block: The block being mapped.
+        assignment: DFG node -> PE coordinate.
+        ii: Initiation interval the mapping sustains (resource sharing and
+            routing congestion included).
+        depth_cycles: Pipeline drain: critical DFG path plus routing delay.
+        time_extended: Whether the mapping was folded into the time domain
+            (fewer PEs, higher II) by :func:`~repro.compiler.reshape`.
+        unroll: Spatial unroll factor (>=1; unrolled mappings replicate the
+            DFG to start several iterations per II).
+    """
+
+    block: BlockId
+    assignment: Dict[NodeId, Coord]
+    ii: int
+    depth_cycles: int
+    time_extended: bool = False
+    unroll: int = 1
+
+    @property
+    def pes(self) -> List[Coord]:
+        """Distinct PEs used, in first-use order."""
+        seen: List[Coord] = []
+        for coord in self.assignment.values():
+            if coord not in seen:
+                seen.append(coord)
+        return seen
+
+    @property
+    def n_pes(self) -> int:
+        return len(self.pes)
+
+    @property
+    def op_count(self) -> int:
+        return len(self.assignment)
+
+    def validate(self, op_ids: List[NodeId]) -> None:
+        """Every FU op mapped exactly once; II/depth sane."""
+        mapped = sorted(self.assignment)
+        if mapped != sorted(op_ids):
+            raise CompilationError(
+                f"block {self.block}: mapped ops {mapped} != DFG ops "
+                f"{sorted(op_ids)}"
+            )
+        if self.ii < 1:
+            raise CompilationError(f"block {self.block}: II {self.ii} < 1")
+        if self.depth_cycles < 0:
+            raise CompilationError(
+                f"block {self.block}: negative depth {self.depth_cycles}"
+            )
+        if self.unroll < 1:
+            raise CompilationError(
+                f"block {self.block}: unroll {self.unroll} < 1"
+            )
+
+
+@dataclass
+class LevelSchedule:
+    """The array mapping active while one loop level executes (paper
+    Fig. 8: "Mapping 1", "Mapping 2", ...)."""
+
+    depth: int
+    placements: Dict[BlockId, BBPlacement] = field(default_factory=dict)
+    #: PE-cycles wasted by the chosen reshape (the scheduler's objective)
+    waste: int = 0
+
+    @property
+    def pes_used(self) -> int:
+        used = set()
+        for placement in self.placements.values():
+            used.update(placement.pes)
+        return len(used)
+
+
+@dataclass
+class Schedule:
+    """Complete Agile PE Assignment result for one kernel."""
+
+    kernel: str
+    #: innermost level first, matching the scheduling order
+    levels: List[LevelSchedule] = field(default_factory=list)
+    #: blocks outside any loop (entry/exit straight-line code)
+    flat: Dict[BlockId, BBPlacement] = field(default_factory=dict)
+
+    def placement_of(self, block: BlockId) -> Optional[BBPlacement]:
+        """The placement used when ``block`` executes (deepest level wins,
+        matching the Control Flow Scheduler's priority arbitration)."""
+        for level in self.levels:
+            if block in level.placements:
+                return level.placements[block]
+        return self.flat.get(block)
+
+    def all_placements(self) -> List[BBPlacement]:
+        out = [p for level in self.levels for p in level.placements.values()]
+        out.extend(self.flat.values())
+        return out

@@ -1,0 +1,56 @@
+"""Pipeline arithmetic shared by the execution models.
+
+A basic-block pipeline run of ``n`` iterations with initiation interval
+``II`` costs ``startup + (n - 1) * II + drain`` cycles: the first iteration
+enters after ``startup`` (control transfer + any visible configuration), the
+last initiates ``(n-1) * II`` later, and its results drain through the
+spatial pipeline for ``drain`` cycles.  Spatial unrolling starts ``unroll``
+iterations per initiation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CompilationError
+
+
+def pipeline_cycles(iterations: int, ii: int, startup: int, drain: int,
+                    unroll: int = 1) -> int:
+    """Cycles for one pipelined burst of ``iterations`` iterations."""
+    if iterations < 0:
+        raise CompilationError("iterations must be non-negative")
+    if ii < 1 or unroll < 1:
+        raise CompilationError("II and unroll must be >= 1")
+    if startup < 0 or drain < 0:
+        raise CompilationError("startup/drain must be non-negative")
+    if iterations == 0:
+        return startup
+    initiations = math.ceil(iterations / unroll)
+    return startup + (initiations - 1) * ii + drain
+
+
+def serial_cycles(iterations: int, depth: int, gap: int) -> int:
+    """Cycles when iterations execute back-to-back without pipelining
+    (each pays the full datapath depth plus a repeat gap)."""
+    if iterations < 0:
+        raise CompilationError("iterations must be non-negative")
+    if iterations == 0:
+        return 0
+    return iterations * depth + (iterations - 1) * gap
+
+
+@dataclass(frozen=True)
+class PipelineShape:
+    """Summary of a block's pipeline behaviour under one mapping."""
+
+    ii: int
+    startup: int
+    drain: int
+    unroll: int = 1
+
+    def cycles(self, iterations: int) -> int:
+        return pipeline_cycles(
+            iterations, self.ii, self.startup, self.drain, self.unroll
+        )

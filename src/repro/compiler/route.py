@@ -1,0 +1,60 @@
+"""Routing of a placed basic block onto the data mesh.
+
+Thin layer over :class:`~repro.arch.network.mesh.DataMesh` used by tests,
+the examples' visualisations, and anything that needs the routed paths of a
+:class:`~repro.compiler.mapping.BBPlacement` (placement itself only needs
+the aggregate latency/congestion numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arch.network.mesh import DataMesh, RoutedEdge
+from repro.arch.params import ArchParams
+from repro.arch.topology import Grid
+from repro.ir.cfg import BasicBlock
+from repro.ir.dfg import NodeId
+from repro.compiler.mapping import BBPlacement
+
+
+@dataclass
+class RoutingResult:
+    """All routed data edges of one placement."""
+
+    edges: List[Tuple[NodeId, NodeId, RoutedEdge]]
+    congestion_ii: int
+    max_transfer_latency: int
+    total_hops: int
+
+
+def route_placement(block: BasicBlock, placement: BBPlacement,
+                    params: ArchParams) -> RoutingResult:
+    """Route every producer->consumer edge of ``placement`` with XY routing."""
+    grid = Grid(params.rows, params.cols)
+    mesh = DataMesh(grid, hop_latency=params.mesh_hop_latency)
+    mapped = set(placement.assignment)
+    edges: List[Tuple[NodeId, NodeId, RoutedEdge]] = []
+    max_latency = 0
+    total_hops = 0
+    for node in block.dfg.fu_nodes:
+        if node.node_id not in mapped:
+            continue
+        for operand in node.operands:
+            if operand not in mapped:
+                continue
+            src = placement.assignment[operand]
+            dst = placement.assignment[node.node_id]
+            if src == dst:
+                continue
+            routed = mesh.route(src, dst)
+            edges.append((operand, node.node_id, routed))
+            max_latency = max(max_latency, mesh.latency(routed))
+            total_hops += routed.hops
+    return RoutingResult(
+        edges=edges,
+        congestion_ii=mesh.congestion_ii(),
+        max_transfer_latency=max_latency,
+        total_hops=total_hops,
+    )

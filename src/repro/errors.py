@@ -1,0 +1,53 @@
+"""Exception hierarchy for the Marionette reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Sub-types are grouped by
+subsystem: IR construction, compilation/mapping, simulation, and network
+routing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class IRError(ReproError):
+    """Malformed IR: invalid CDFG structure, bad operands, type misuse."""
+
+
+class BuilderError(IRError):
+    """Misuse of the :class:`~repro.ir.builder.KernelBuilder` DSL."""
+
+
+class InterpreterError(ReproError):
+    """Functional interpretation failed (bad memory access, no terminator)."""
+
+
+class CompilationError(ReproError):
+    """Mapping / scheduling / configuration generation failed."""
+
+
+class PlacementError(CompilationError):
+    """A DFG could not be placed onto the PE grid."""
+
+
+class RoutingError(CompilationError):
+    """A data or control edge could not be routed."""
+
+
+class EncodingError(ReproError):
+    """ISA encoding or decoding failed."""
+
+
+class SimulationError(ReproError):
+    """The micro-architectural simulator hit an inconsistent state."""
+
+
+class NetworkError(ReproError):
+    """Control/data network construction or routing failed."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid architecture parameters."""

@@ -1,0 +1,10 @@
+"""One module per paper table/figure; see DESIGN.md's experiment index.
+
+Each module exposes ``run(scale, seed) -> ExperimentResult`` and can be
+executed directly (``python -m repro.experiments.fig11_pe_models``);
+:mod:`repro.experiments.report` regenerates everything.
+"""
+
+from repro.experiments.common import ExperimentResult, SuiteContext
+
+__all__ = ["ExperimentResult", "SuiteContext"]

@@ -1,0 +1,123 @@
+"""Experiment harness shared by every table/figure module.
+
+:class:`SuiteContext` runs each workload once per scale and caches the
+functional trace — the expensive part — so all nine experiments replay the
+same executions through different architecture models.  Results are plain
+:class:`ExperimentResult` tables that render to aligned ASCII, mirroring
+the rows/series of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.arch.params import ArchParams, DEFAULT_PARAMS
+from repro.baselines.base import KernelInstance
+from repro.workloads import (
+    ALL_WORKLOADS,
+    INTENSIVE_WORKLOADS,
+    NON_INTENSIVE_WORKLOADS,
+    Workload,
+    WorkloadInstance,
+)
+
+
+@dataclass
+class KernelRun:
+    """One workload's cached execution."""
+
+    workload: Workload
+    instance: WorkloadInstance
+    kernel: KernelInstance
+
+
+class SuiteContext:
+    """Cached workload executions for one (scale, seed, params)."""
+
+    _cache: Dict[tuple, "SuiteContext"] = {}
+
+    def __init__(self, scale: str = "small", seed: int = 0,
+                 params: ArchParams = DEFAULT_PARAMS) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.params = params
+        self._runs: Dict[str, KernelRun] = {}
+
+    @classmethod
+    def get(cls, scale: str = "small", seed: int = 0,
+            params: ArchParams = DEFAULT_PARAMS) -> "SuiteContext":
+        key = (scale, seed, params)
+        if key not in cls._cache:
+            cls._cache[key] = cls(scale, seed, params)
+        return cls._cache[key]
+
+    # ------------------------------------------------------------------
+    def run_of(self, workload: Workload) -> KernelRun:
+        if workload.short not in self._runs:
+            instance = workload.instance(self.scale, seed=self.seed)
+            instance.check()  # every experiment runs on verified outputs
+            result = instance.run()
+            self._runs[workload.short] = KernelRun(
+                workload=workload, instance=instance,
+                kernel=KernelInstance(instance.cdfg, result.trace),
+            )
+        return self._runs[workload.short]
+
+    def intensive(self) -> List[KernelRun]:
+        return [self.run_of(w) for w in INTENSIVE_WORKLOADS]
+
+    def non_intensive(self) -> List[KernelRun]:
+        return [self.run_of(w) for w in NON_INTENSIVE_WORKLOADS]
+
+    def all(self) -> List[KernelRun]:
+        return [self.run_of(w) for w in ALL_WORKLOADS]
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: rows of one table/figure."""
+
+    experiment: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+    paper_claim: str = ""
+    notes: List[str] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        """Aligned ASCII rendering."""
+        widths = {c: len(c) for c in self.columns}
+        rendered: List[Dict[str, str]] = []
+        for row in self.rows:
+            out = {}
+            for column in self.columns:
+                value = row.get(column, "")
+                if isinstance(value, float):
+                    text = f"{value:.3f}"
+                else:
+                    text = str(value)
+                out[column] = text
+                widths[column] = max(widths[column], len(text))
+            rendered.append(out)
+        lines = [f"== {self.experiment}: {self.title} =="]
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rendered:
+            lines.append(
+                "  ".join(row[c].ljust(widths[c]) for c in self.columns)
+            )
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                lines.append(f"{key}: {value:.3f}")
+        if self.paper_claim:
+            lines.append(f"paper: {self.paper_claim}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.to_table())

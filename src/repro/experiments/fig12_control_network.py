@@ -1,0 +1,54 @@
+"""Figure 12: speedup from the peer-to-peer control network.
+
+Paper result: the CS-Benes control network contributes geomean 1.14x, up
+to 1.36x on CRC; CRC/ADPCM/Merge Sort benefit most because they are only
+partially pipelined, leaving control transfer latency exposed.
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import ArchParams, DEFAULT_PARAMS
+from repro.baselines import MarionetteModel
+from repro.perf.speedup import geomean
+from repro.experiments.common import ExperimentResult, SuiteContext
+
+
+def run(scale: str = "small", seed: int = 0,
+        params: ArchParams = DEFAULT_PARAMS) -> ExperimentResult:
+    context = SuiteContext.get(scale, seed, params)
+    base = MarionetteModel(
+        params, control_network=False, agile=False, name="Marionette PE"
+    )
+    with_network = MarionetteModel(
+        params, control_network=True, agile=False,
+        name="Marionette PE + Control Network",
+    )
+
+    result = ExperimentResult(
+        experiment="Figure 12",
+        title="Speedup contributed by the dedicated control network",
+        columns=["kernel", "marionette_pe", "with_control_network",
+                 "improvement_pct"],
+        paper_claim="geomean 1.14x, up to 1.36x (CRC)",
+    )
+    gains = []
+    for run_ in context.intensive():
+        base_cycles = base.simulate(run_.kernel).cycles
+        net_cycles = with_network.simulate(run_.kernel).cycles
+        gain = base_cycles / net_cycles
+        gains.append(gain)
+        result.rows.append({
+            "kernel": run_.workload.short,
+            "marionette_pe": 1.0,
+            "with_control_network": gain,
+            "improvement_pct": 100.0 * (gain - 1.0),
+        })
+    result.summary = {
+        "geomean control-network speedup": geomean(gains),
+        "max control-network speedup": max(gains),
+    }
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,64 @@
+"""Figure 16: control network speedup vs Agile PE Assignment speedup.
+
+Paper claim: the two features split the kernels — partially-pipelined
+kernels (MS, ADPCM, CRC, LDPC) gain from the control network; kernels with
+regular control flow (VI, HT, SCD, GEMM) gain from Agile PE Assignment —
+distinguished by how much of the control flow can be hidden in pipelines.
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import ArchParams, DEFAULT_PARAMS
+from repro.baselines import MarionetteModel
+from repro.workloads import get_workload
+from repro.experiments.common import ExperimentResult, SuiteContext
+
+#: paper order: network-optimised group, then pipeline-optimised group
+FIG16_ORDER = ("ms", "adpcm", "crc", "ldpc", "nw", "fft", "vi", "ht",
+               "scd", "gemm")
+
+
+def run(scale: str = "small", seed: int = 0,
+        params: ArchParams = DEFAULT_PARAMS) -> ExperimentResult:
+    context = SuiteContext.get(scale, seed, params)
+    base = MarionetteModel(
+        params, control_network=False, agile=False, name="Marionette PE"
+    )
+    with_network = MarionetteModel(
+        params, control_network=True, agile=False, name="+CN"
+    )
+    with_agile = MarionetteModel(
+        params, control_network=False, agile=True, name="+Agile"
+    )
+    result = ExperimentResult(
+        experiment="Figure 16",
+        title="Control network speedup vs Agile PE Assignment speedup",
+        columns=["kernel", "network_speedup_pct", "agile_speedup_pct",
+                 "dominant"],
+        paper_claim="network helps partially-pipelined kernels (MS ADPCM "
+                    "CRC LDPC); Agile helps regular ones (VI HT SCD GEMM)",
+    )
+    for name in FIG16_ORDER:
+        run_ = context.run_of(get_workload(name))
+        base_cycles = base.simulate(run_.kernel).cycles
+        network_gain = base_cycles / with_network.simulate(run_.kernel).cycles
+        agile_gain = base_cycles / with_agile.simulate(run_.kernel).cycles
+        network_pct = 100.0 * (network_gain - 1.0)
+        agile_pct = 100.0 * (agile_gain - 1.0)
+        if agile_pct > 2 * network_pct:
+            dominant = "pipeline"
+        elif network_pct > 2 * agile_pct:
+            dominant = "network"
+        else:
+            dominant = "balanced"
+        result.rows.append({
+            "kernel": run_.workload.short,
+            "network_speedup_pct": network_pct,
+            "agile_speedup_pct": agile_pct,
+            "dominant": dominant,
+        })
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,78 @@
+"""Figure 17: Marionette vs state-of-the-art spatial architectures.
+
+All 13 kernels; cycles normalised to Softbrain (higher = faster).
+
+Paper result: on intensive control flow kernels Marionette outperforms
+Softbrain 2.88x, TIA 3.38x, REVEL 1.55x, RipTide 2.66x geomean; on the
+non-intensive kernels (CO/SI/GP) all architectures are comparable except
+TIA (longer pipeline II).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.params import ArchParams, DEFAULT_PARAMS
+from repro.baselines import (
+    MarionetteModel,
+    RevelModel,
+    RipTideModel,
+    SoftbrainModel,
+    TIAModel,
+)
+from repro.perf.speedup import geomean
+from repro.experiments.common import ExperimentResult, SuiteContext
+
+
+def run(scale: str = "small", seed: int = 0,
+        params: ArchParams = DEFAULT_PARAMS) -> ExperimentResult:
+    context = SuiteContext.get(scale, seed, params)
+    models = {
+        "softbrain": SoftbrainModel(params),
+        "tia": TIAModel(params),
+        "revel": RevelModel(params),
+        "riptide": RipTideModel(params),
+        "marionette": MarionetteModel(params),
+    }
+    result = ExperimentResult(
+        experiment="Figure 17",
+        title="vs state-of-the-art architectures "
+              "(normalized speedup over Softbrain)",
+        columns=["kernel", "group", "softbrain", "tia", "revel", "riptide",
+                 "marionette"],
+        paper_claim="geomean 2.88x / 3.38x / 1.55x / 2.66x over "
+                    "Softbrain / TIA / REVEL / RipTide on intensive kernels",
+    )
+    cycles_by_kernel: Dict[str, Dict[str, int]] = {}
+    for run_ in context.all():
+        cycles = {
+            name: model.simulate(run_.kernel).cycles
+            for name, model in models.items()
+        }
+        cycles_by_kernel[run_.workload.short] = cycles
+        base = cycles["softbrain"]
+        result.rows.append({
+            "kernel": run_.workload.short,
+            "group": run_.workload.group,
+            **{name: base / c for name, c in cycles.items()},
+        })
+
+    intensive = [r.workload.short for r in context.intensive()]
+    for rival in ("softbrain", "tia", "revel", "riptide"):
+        result.summary[f"geomean speedup vs {rival}"] = geomean([
+            cycles_by_kernel[k][rival] / cycles_by_kernel[k]["marionette"]
+            for k in intensive
+        ])
+    non_intensive = [r.workload.short for r in context.non_intensive()]
+    result.summary["geomean vs best rival (non-intensive)"] = geomean([
+        min(
+            cycles_by_kernel[k][r]
+            for r in ("softbrain", "revel", "riptide")
+        ) / cycles_by_kernel[k]["marionette"]
+        for k in non_intensive
+    ])
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,59 @@
+"""Run every experiment and emit the full evaluation report.
+
+``python -m repro.experiments.report [scale]`` regenerates all tables and
+figures in one pass (the content recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, List
+
+from repro.experiments import (
+    fig11_pe_models,
+    fig12_control_network,
+    fig13_network_scaling,
+    fig14_agile,
+    fig15_utilization,
+    fig16_balance,
+    fig17_sota,
+    table4_area,
+    table6_network_area,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def run_all(scale: str = "small", seed: int = 0) -> List[ExperimentResult]:
+    """Every table and figure of the evaluation, in paper order."""
+    return [
+        fig11_pe_models.run(scale, seed),
+        fig12_control_network.run(scale, seed),
+        fig13_network_scaling.run(),
+        fig14_agile.run(scale, seed),
+        fig15_utilization.run(scale, seed),
+        fig16_balance.run(scale, seed),
+        fig17_sota.run(scale, seed),
+        table4_area.run(),
+        table6_network_area.run(),
+    ]
+
+
+def render_report(scale: str = "small", seed: int = 0) -> str:
+    sections = [
+        "# Marionette evaluation report",
+        f"(workload scale: {scale}, seed: {seed})",
+        "",
+    ]
+    for result in run_all(scale, seed):
+        sections.append(result.to_table())
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - console entry
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    print(render_report(scale))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,213 @@
+"""Static + dynamic analyses over CDFGs and traces.
+
+These produce the kernel-characterisation quantities the paper reports:
+
+* **operators under branch %** — the secondary axis of Fig. 11: the share of
+  dynamically executed FU operators that live in branch-divergent regions
+  (these are the operators a von Neumann PE wastes under Predication);
+* **control flow form metrics** — Table 1's qualitative rows (nested
+  branches, imperfect/nested/serial loops) derived from the CDFG structure;
+* **pipelineability** — how much of the dynamic work sits in long innermost
+  loop bursts, which decides how much Agile PE Assignment can help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cdfg import CDFG, LoopNest
+from repro.ir.cfg import BlockId, BlockRole, Branch
+from repro.ir.trace import DynamicTrace
+
+
+@dataclass(frozen=True)
+class ControlFlowProfile:
+    """Structural + dynamic control flow characterisation of one kernel."""
+
+    kernel: str
+    blocks: int
+    static_ops: int
+    dynamic_ops: int
+    loop_count: int
+    max_loop_depth: int
+    imperfect: bool
+    serial_loops: int
+    divergent_branches: int
+    max_branch_nesting: int
+    ops_under_branch_pct: float
+    innermost_burst_ops_pct: float
+    mean_innermost_run: float
+
+    def table1_row(self) -> Dict[str, str]:
+        """Qualitative Table 1 style description."""
+        if self.divergent_branches == 0:
+            branch = "N/A"
+        elif self.max_branch_nesting > 1:
+            branch = "Nested branches"
+        else:
+            branch = "Branches"
+        loops: List[str] = []
+        if self.max_loop_depth > 1:
+            loops.append("Imperfect nested" if self.imperfect else "Nested")
+        elif self.loop_count:
+            loops.append("Single loop")
+        if self.serial_loops > 1:
+            loops.append("Serial Loops")
+        return {
+            "workload": self.kernel,
+            "intensive_branch": branch,
+            "intensive_loop": ", ".join(loops) if loops else "N/A",
+        }
+
+
+def branch_nesting_depth(cdfg: CDFG) -> int:
+    """Maximum nesting depth of non-loop branches.
+
+    Measured structurally: for each divergent branch block, count how many
+    other divergent branches it is "under" (inside the divergent region of).
+    """
+    branch_blocks = cdfg.branch_blocks()
+    if not branch_blocks:
+        return 0
+    depth: Dict[BlockId, int] = {}
+    regions: Dict[BlockId, Set[BlockId]] = {}
+    for block in branch_blocks:
+        term = block.terminator
+        assert isinstance(term, Branch)
+        r_true = cdfg._forward_region(term.if_true, block.block_id)
+        r_false = cdfg._forward_region(term.if_false, block.block_id)
+        regions[block.block_id] = r_true.symmetric_difference(r_false)
+    for block in branch_blocks:
+        depth[block.block_id] = 1 + sum(
+            1
+            for other, region in regions.items()
+            if other != block.block_id and block.block_id in region
+        )
+    return max(depth.values())
+
+
+def serial_loop_count(cdfg: CDFG) -> int:
+    """Number of sibling loops at the outermost loop level (serial loops)."""
+    nests = cdfg.loop_nests()
+    return sum(1 for nest in nests.values() if nest.parent is None)
+
+
+def ops_under_branch_fraction(cdfg: CDFG, trace: DynamicTrace) -> float:
+    """Dynamic share of FU operators inside branch-divergent regions."""
+    total = trace.dynamic_op_count(cdfg)
+    if total == 0:
+        return 0.0
+    under = cdfg.under_branch_blocks()
+    return trace.dynamic_ops_in(cdfg, under) / total
+
+
+def innermost_loop_blocks(cdfg: CDFG) -> Set[BlockId]:
+    """Blocks belonging to innermost loops (candidate pipeline bodies)."""
+    nests = cdfg.loop_nests()
+    out: Set[BlockId] = set()
+    for nest in cdfg.innermost_loops():
+        out |= nest.own_blocks(nests)
+    return out
+
+
+def innermost_burst_fraction(cdfg: CDFG, trace: DynamicTrace) -> float:
+    """Dynamic share of FU ops executed inside innermost loop bodies."""
+    total = trace.dynamic_op_count(cdfg)
+    if total == 0:
+        return 0.0
+    inner = innermost_loop_blocks(cdfg)
+    return trace.dynamic_ops_in(cdfg, inner) / total
+
+
+def mean_innermost_run_length(cdfg: CDFG, trace: DynamicTrace) -> float:
+    """Average burst length over innermost loop-body blocks."""
+    inner = innermost_loop_blocks(cdfg)
+    body_blocks = [
+        bid for bid in inner
+        if cdfg.block(bid).role is BlockRole.LOOP_BODY
+        or cdfg.block(bid).op_count > 0
+    ]
+    lengths = [
+        trace.mean_run_length(bid)
+        for bid in body_blocks
+        if trace.execs_of(bid) > 0
+    ]
+    if not lengths:
+        return 0.0
+    return sum(lengths) / len(lengths)
+
+
+@dataclass(frozen=True)
+class LoopDynamics:
+    """Dynamic behaviour of one natural loop.
+
+    Attributes:
+        header: Loop header block id.
+        entries: How many times control entered the loop from outside.
+        total_iterations: Total body iterations across all entries.
+        depth: Static nesting depth (1 = outermost).
+        innermost: Whether the loop has no nested loops.
+    """
+
+    header: BlockId
+    entries: int
+    total_iterations: int
+    depth: int
+    innermost: bool
+
+    @property
+    def mean_trip_count(self) -> float:
+        """Average iterations per loop entry (pipeline burst length)."""
+        if self.entries == 0:
+            return 0.0
+        return self.total_iterations / self.entries
+
+
+def loop_dynamics(cdfg: CDFG, trace: DynamicTrace) -> Dict[BlockId, LoopDynamics]:
+    """Per-loop entry and iteration counts from the dynamic trace.
+
+    Entries are counted as trace edges into the header from outside the loop
+    body; iterations as back edges (latch -> header).  Requires the trace's
+    edge counts, which are complete because the builder never creates
+    single-block self loops.
+    """
+    out: Dict[BlockId, LoopDynamics] = {}
+    for header, nest in cdfg.loop_nests().items():
+        entries = 0
+        iterations = 0
+        for (src, dst), count in trace.edge_counts.items():
+            if dst != header:
+                continue
+            if src in nest.blocks:
+                iterations += count
+            else:
+                entries += count
+        out[header] = LoopDynamics(
+            header=header,
+            entries=entries,
+            total_iterations=iterations,
+            depth=nest.depth,
+            innermost=not nest.children,
+        )
+    return out
+
+
+def profile(cdfg: CDFG, trace: DynamicTrace) -> ControlFlowProfile:
+    """Compute the full :class:`ControlFlowProfile` for one execution."""
+    nests = cdfg.loop_nests()
+    return ControlFlowProfile(
+        kernel=cdfg.name,
+        blocks=len(cdfg.blocks),
+        static_ops=cdfg.total_op_count,
+        dynamic_ops=trace.dynamic_op_count(cdfg),
+        loop_count=len(nests),
+        max_loop_depth=cdfg.max_loop_depth(),
+        imperfect=cdfg.is_imperfect(),
+        serial_loops=serial_loop_count(cdfg),
+        divergent_branches=len(cdfg.branch_blocks()),
+        max_branch_nesting=branch_nesting_depth(cdfg),
+        ops_under_branch_pct=100.0 * ops_under_branch_fraction(cdfg, trace),
+        innermost_burst_ops_pct=100.0 * innermost_burst_fraction(cdfg, trace),
+        mean_innermost_run=mean_innermost_run_length(cdfg, trace),
+    )

@@ -1,0 +1,243 @@
+"""The combined CDFG: a CFG whose blocks embed DFGs, plus loop-nest analysis.
+
+:class:`LoopNest` is the unit the Marionette scheduler works at (paper
+Fig. 8): scheduling proceeds innermost loop level to outermost, mapping the
+basic blocks of each level and time-extending leftovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import IRError
+from repro.ir.cfg import BasicBlock, BlockId, BlockRole, Branch, CFG, Halt, Jump
+
+
+@dataclass
+class LoopNest:
+    """One natural loop in the nest tree.
+
+    Attributes:
+        header: Block id of the loop header (the loop decision block).
+        blocks: All block ids in the loop (including inner loops' blocks).
+        depth: Nesting depth; 1 for outermost loops.
+        parent: Header id of the enclosing loop, or ``None``.
+        children: Headers of directly nested loops.
+    """
+
+    header: BlockId
+    blocks: Set[BlockId]
+    depth: int = 1
+    parent: Optional[BlockId] = None
+    children: List[BlockId] = field(default_factory=list)
+
+    def own_blocks(self, nests: Dict[BlockId, "LoopNest"]) -> Set[BlockId]:
+        """Blocks belonging to this loop level but not to any inner loop."""
+        inner: Set[BlockId] = set()
+        for child in self.children:
+            inner |= nests[child].blocks
+        return self.blocks - inner
+
+
+class CDFG:
+    """A kernel: control flow graph + per-block data flow graphs."""
+
+    def __init__(self, name: str, cfg: CFG,
+                 params: Sequence[str] = (),
+                 arrays: Sequence[str] = ()) -> None:
+        self.name = name
+        self.cfg = cfg
+        #: runtime scalar parameter names (set by the interpreter caller)
+        self.params: Tuple[str, ...] = tuple(params)
+        #: scratchpad array names referenced by LOAD/STORE
+        self.arrays: Tuple[str, ...] = tuple(arrays)
+        self._loop_nests: Optional[Dict[BlockId, LoopNest]] = None
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def blocks(self) -> List[BasicBlock]:
+        return self.cfg.blocks
+
+    def block(self, block_id: BlockId) -> BasicBlock:
+        return self.cfg.block(block_id)
+
+    @property
+    def entry(self) -> BlockId:
+        if self.cfg.entry is None:
+            raise IRError(f"kernel {self.name!r} has no entry block")
+        return self.cfg.entry
+
+    @property
+    def total_op_count(self) -> int:
+        """Static FU-operation count over all blocks."""
+        return sum(b.op_count for b in self.blocks)
+
+    # ------------------------------------------------------------------
+    # Loop nest analysis
+    # ------------------------------------------------------------------
+    def loop_nests(self) -> Dict[BlockId, LoopNest]:
+        """Header id -> :class:`LoopNest`, computed once and cached."""
+        if self._loop_nests is None:
+            self._loop_nests = self._build_loop_nests()
+        return self._loop_nests
+
+    def _build_loop_nests(self) -> Dict[BlockId, LoopNest]:
+        raw = self.cfg.natural_loops()
+        nests = {h: LoopNest(h, set(body)) for h, body in raw.items()}
+        headers = sorted(nests, key=lambda h: len(nests[h].blocks))
+        # Parent = the smallest enclosing loop (smallest superset of blocks).
+        for header in headers:
+            nest = nests[header]
+            best: Optional[BlockId] = None
+            best_size = None
+            for other in headers:
+                if other == header:
+                    continue
+                candidate = nests[other]
+                if header in candidate.blocks and nest.blocks <= candidate.blocks:
+                    if best_size is None or len(candidate.blocks) < best_size:
+                        best = other
+                        best_size = len(candidate.blocks)
+            nest.parent = best
+            if best is not None:
+                nests[best].children.append(header)
+        for header in headers:
+            depth = 1
+            cursor = nests[header].parent
+            while cursor is not None:
+                depth += 1
+                cursor = nests[cursor].parent
+            nests[header].depth = depth
+        return nests
+
+    def max_loop_depth(self) -> int:
+        nests = self.loop_nests()
+        return max((n.depth for n in nests.values()), default=0)
+
+    def innermost_loops(self) -> List[LoopNest]:
+        return [n for n in self.loop_nests().values() if not n.children]
+
+    def loop_of_block(self, block_id: BlockId) -> Optional[LoopNest]:
+        """The innermost loop containing ``block_id``, or ``None``."""
+        best: Optional[LoopNest] = None
+        for nest in self.loop_nests().values():
+            if block_id in nest.blocks:
+                if best is None or len(nest.blocks) < len(best.blocks):
+                    best = nest
+        return best
+
+    def loop_depth_of_block(self, block_id: BlockId) -> int:
+        nest = self.loop_of_block(block_id)
+        return nest.depth if nest else 0
+
+    def levels_inner_to_outer(self) -> List[List[LoopNest]]:
+        """Loop nests grouped by depth, innermost (deepest) first."""
+        nests = self.loop_nests()
+        if not nests:
+            return []
+        max_depth = max(n.depth for n in nests.values())
+        levels: List[List[LoopNest]] = []
+        for depth in range(max_depth, 0, -1):
+            level = [n for n in nests.values() if n.depth == depth]
+            if level:
+                levels.append(sorted(level, key=lambda n: n.header))
+        return levels
+
+    # ------------------------------------------------------------------
+    # Control structure queries used by the execution models
+    # ------------------------------------------------------------------
+    def is_imperfect(self) -> bool:
+        """Whether any non-innermost loop level carries FU computation.
+
+        This is the paper's *Imperfect Loop* form: computation present in
+        outer loop bodies (Section 3.1).
+        """
+        nests = self.loop_nests()
+        for nest in nests.values():
+            if not nest.children:
+                continue
+            for bid in nest.own_blocks(nests):
+                block = self.block(bid)
+                if block.role is BlockRole.LOOP_HEADER and bid == nest.header:
+                    continue
+                if block.op_count > 0:
+                    return True
+        return False
+
+    def branch_blocks(self) -> List[BasicBlock]:
+        """Blocks ending in a non-loop conditional branch (divergence points)."""
+        out = []
+        for block in self.blocks:
+            term = block.terminator
+            if isinstance(term, Branch) and not term.is_loop_branch:
+                out.append(block)
+        return out
+
+    def under_branch_blocks(self) -> Set[BlockId]:
+        """Blocks control-dependent on a non-loop branch (branch arms/merges
+        reached before the merge point re-joins).
+
+        Computed structurally: for each divergent branch, the blocks reachable
+        from exactly one of the two arms before reaching a common
+        post-dominator are "under" the branch.  Builder roles give the same
+        answer for builder-produced CDFGs; this stays correct for hand-built
+        graphs too.
+        """
+        under: Set[BlockId] = set()
+        for block in self.branch_blocks():
+            term = block.terminator
+            assert isinstance(term, Branch)
+            reach_true = self._forward_region(term.if_true, block.block_id)
+            reach_false = self._forward_region(term.if_false, block.block_id)
+            under |= reach_true.symmetric_difference(reach_false)
+        return under
+
+    def _forward_region(self, start: BlockId, stop: BlockId) -> Set[BlockId]:
+        """Blocks reachable from ``start`` without passing through ``stop``
+        or traversing loop back edges."""
+        back = set(self.cfg.back_edges())
+        seen: Set[BlockId] = set()
+        stack = [start]
+        while stack:
+            bid = stack.pop()
+            if bid in seen or bid == stop:
+                continue
+            seen.add(bid)
+            for succ in self.cfg.successors(bid):
+                if (bid, succ) in back:
+                    continue
+                stack.append(succ)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Validation / repr
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        self.cfg.validate()
+        referenced: Set[str] = set()
+        for block in self.blocks:
+            for node in block.dfg:
+                if node.array is not None:
+                    referenced.add(node.array)
+        missing = referenced - set(self.arrays)
+        if missing:
+            raise IRError(
+                f"kernel {self.name!r} uses undeclared arrays: {sorted(missing)}"
+            )
+
+    def summary(self) -> str:
+        """A short human-readable description of the kernel's structure."""
+        nests = self.loop_nests()
+        return (
+            f"kernel {self.name}: {len(self.blocks)} blocks, "
+            f"{self.total_op_count} ops, {len(nests)} loops "
+            f"(max depth {self.max_loop_depth()}), "
+            f"{len(self.branch_blocks())} divergent branches, "
+            f"imperfect={self.is_imperfect()}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CDFG({self.summary()})"

@@ -1,0 +1,317 @@
+"""Control flow graphs: basic blocks, terminators, dominators, natural loops.
+
+Terminators carry the control decision of a block:
+
+* :class:`Jump` — unconditional successor (same control flow, the Control
+  Flow Sender's *DFG operator mode*);
+* :class:`Branch` — two-way conditional on a DFG node (*branch operator
+  mode*); ``is_loop_branch`` marks loop header/latch branches (*loop operator
+  mode*);
+* :class:`Halt` — kernel exit.
+
+Block roles record how the builder created a block (loop header, branch arm,
+…) so analyses do not have to re-discover intent heuristically; structural
+facts (dominators, natural loops) are still computed from the graph itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import IRError
+from repro.ir.dfg import DFG, NodeId
+
+BlockId = int
+
+
+class BlockRole(enum.Enum):
+    """How the builder created a block (annotation, not structure)."""
+
+    ENTRY = "entry"
+    EXIT = "exit"
+    PLAIN = "plain"
+    LOOP_PREHEADER = "loop_preheader"
+    LOOP_HEADER = "loop_header"
+    LOOP_BODY = "loop_body"
+    LOOP_LATCH = "loop_latch"
+    BRANCH_ARM = "branch_arm"
+    MERGE = "merge"
+
+
+@dataclass
+class Jump:
+    """Unconditional transfer to ``target``."""
+
+    target: BlockId
+
+
+@dataclass
+class Branch:
+    """Two-way conditional transfer on the value of ``cond`` (a DFG node).
+
+    ``is_loop_branch`` is set for loop header/latch decisions, which the
+    Marionette control plane serves in loop operator mode rather than branch
+    operator mode.
+    """
+
+    cond: NodeId
+    if_true: BlockId
+    if_false: BlockId
+    is_loop_branch: bool = False
+
+
+@dataclass
+class Halt:
+    """Kernel exit."""
+
+
+Terminator = (Jump, Branch, Halt)
+
+
+@dataclass
+class BasicBlock:
+    """A single-entry single-exit block holding one DFG."""
+
+    block_id: BlockId
+    name: str
+    dfg: DFG = field(default_factory=DFG)
+    terminator: Optional[object] = None
+    role: BlockRole = BlockRole.PLAIN
+    #: variable name -> producing DFG node (live-out bindings)
+    outputs: Dict[str, NodeId] = field(default_factory=dict)
+    #: loop variable owned by this block's loop, if it is a header
+    loop_var: Optional[str] = None
+    #: builder-level annotations (pragmas)
+    annotations: Dict[str, object] = field(default_factory=dict)
+
+    def successors(self) -> Tuple[BlockId, ...]:
+        term = self.terminator
+        if isinstance(term, Jump):
+            return (term.target,)
+        if isinstance(term, Branch):
+            return (term.if_true, term.if_false)
+        if isinstance(term, Halt):
+            return ()
+        raise IRError(f"block {self.name!r} has no terminator")
+
+    @property
+    def op_count(self) -> int:
+        return self.dfg.op_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BasicBlock({self.block_id}, {self.name!r}, "
+            f"{self.op_count} ops, role={self.role.value})"
+        )
+
+
+class CFG:
+    """A control flow graph over :class:`BasicBlock`.
+
+    Provides dominator computation (iterative dataflow algorithm) and natural
+    loop discovery via back edges; both are pure structure, independent of the
+    builder's role annotations.
+    """
+
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        self.entry: Optional[BlockId] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_block(
+        self, name: str, role: BlockRole = BlockRole.PLAIN
+    ) -> BasicBlock:
+        block = BasicBlock(len(self.blocks), name, role=role)
+        self.blocks.append(block)
+        if self.entry is None:
+            self.entry = block.block_id
+            if role is BlockRole.PLAIN:
+                block.role = BlockRole.ENTRY
+        return block
+
+    def block(self, block_id: BlockId) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def successors(self, block_id: BlockId) -> Tuple[BlockId, ...]:
+        return self.blocks[block_id].successors()
+
+    def predecessors(self) -> Dict[BlockId, List[BlockId]]:
+        preds: Dict[BlockId, List[BlockId]] = {b.block_id: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                preds[succ].append(block.block_id)
+        return preds
+
+    def edges(self) -> List[Tuple[BlockId, BlockId]]:
+        out: List[Tuple[BlockId, BlockId]] = []
+        for block in self.blocks:
+            for succ in block.successors():
+                out.append((block.block_id, succ))
+        return out
+
+    def reachable(self) -> Set[BlockId]:
+        """Blocks reachable from the entry."""
+        if self.entry is None:
+            return set()
+        seen: Set[BlockId] = set()
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(self.blocks[bid].successors())
+        return seen
+
+    def reverse_postorder(self) -> List[BlockId]:
+        """Reverse postorder over reachable blocks (good for dataflow)."""
+        if self.entry is None:
+            return []
+        visited: Set[BlockId] = set()
+        order: List[BlockId] = []
+
+        def visit(bid: BlockId) -> None:
+            stack: List[Tuple[BlockId, int]] = [(bid, 0)]
+            while stack:
+                node, idx = stack[-1]
+                if node not in visited:
+                    visited.add(node)
+                succs = self.blocks[node].successors()
+                if idx < len(succs):
+                    stack[-1] = (node, idx + 1)
+                    nxt = succs[idx]
+                    if nxt not in visited:
+                        stack.append((nxt, 0))
+                else:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def dominators(self) -> Dict[BlockId, Set[BlockId]]:
+        """Dominator sets via the classic iterative algorithm.
+
+        ``dom[b]`` is the set of blocks that dominate ``b`` (including ``b``).
+        Unreachable blocks are excluded.
+        """
+        if self.entry is None:
+            return {}
+        rpo = self.reverse_postorder()
+        reachable = set(rpo)
+        preds = self.predecessors()
+        universe = set(rpo)
+        dom: Dict[BlockId, Set[BlockId]] = {
+            bid: {bid} if bid == self.entry else set(universe) for bid in rpo
+        }
+        changed = True
+        while changed:
+            changed = False
+            for bid in rpo:
+                if bid == self.entry:
+                    continue
+                reachable_preds = [p for p in preds[bid] if p in reachable]
+                if reachable_preds:
+                    new = set.intersection(
+                        *(dom[p] for p in reachable_preds)
+                    )
+                else:  # pragma: no cover - entry handled above
+                    new = set()
+                new.add(bid)
+                if new != dom[bid]:
+                    dom[bid] = new
+                    changed = True
+        return dom
+
+    def immediate_dominators(self) -> Dict[BlockId, Optional[BlockId]]:
+        """Immediate dominator per block (``None`` for the entry)."""
+        dom = self.dominators()
+        idom: Dict[BlockId, Optional[BlockId]] = {}
+        for bid, doms in dom.items():
+            if bid == self.entry:
+                idom[bid] = None
+                continue
+            strict = doms - {bid}
+            # The idom is the strict dominator that every other strict
+            # dominator dominates (the closest one).
+            candidate = None
+            for d in strict:
+                if all(other in dom[d] for other in strict):
+                    candidate = d
+                    break
+            idom[bid] = candidate
+        return idom
+
+    def back_edges(self) -> List[Tuple[BlockId, BlockId]]:
+        """Edges ``u -> v`` where ``v`` dominates ``u`` (loop back edges)."""
+        dom = self.dominators()
+        out = []
+        for u, v in self.edges():
+            if u in dom and v in dom.get(u, set()):
+                out.append((u, v))
+        return out
+
+    def natural_loops(self) -> Dict[BlockId, Set[BlockId]]:
+        """Header -> set of blocks in the loop (merged per header)."""
+        preds = self.predecessors()
+        loops: Dict[BlockId, Set[BlockId]] = {}
+        for latch, header in self.back_edges():
+            body: Set[BlockId] = {header}
+            stack = [latch]
+            while stack:
+                bid = stack.pop()
+                if bid in body:
+                    continue
+                body.add(bid)
+                stack.extend(preds[bid])
+            loops.setdefault(header, set()).update(body)
+        return loops
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check graph invariants; raises :class:`IRError` on violation."""
+        if self.entry is None:
+            raise IRError("CFG has no entry block")
+        halts = 0
+        for block in self.blocks:
+            if block.terminator is None:
+                raise IRError(f"block {block.name!r} lacks a terminator")
+            for succ in block.successors():
+                if not 0 <= succ < len(self.blocks):
+                    raise IRError(
+                        f"block {block.name!r} targets missing block {succ}"
+                    )
+            if isinstance(block.terminator, Branch):
+                cond = block.terminator.cond
+                if not 0 <= cond < len(block.dfg):
+                    raise IRError(
+                        f"block {block.name!r}: branch condition n{cond} "
+                        "is not in its DFG"
+                    )
+            if isinstance(block.terminator, Halt):
+                halts += 1
+            for var, node_id in block.outputs.items():
+                if not 0 <= node_id < len(block.dfg):
+                    raise IRError(
+                        f"block {block.name!r}: output {var!r} binds missing "
+                        f"node n{node_id}"
+                    )
+            block.dfg.validate()
+        if halts == 0:
+            raise IRError("CFG has no exit (Halt) block")

@@ -1,0 +1,219 @@
+"""Per-basic-block data flow graphs.
+
+A :class:`DFG` is a pure dataflow graph: nodes are operations
+(:class:`~repro.ir.ops.Opcode`), edges are value dependencies.  Node ids are
+dense integers in creation order; creation order is guaranteed to be a valid
+topological order (operands must exist before use), which both the
+interpreter and the mapper rely on.
+
+Side effects (stores) carry no result; their program order is preserved by
+the creation order.  Live-in variables enter through ``INPUT`` nodes and
+live-out variables are named bindings to node ids (held by the enclosing
+:class:`~repro.ir.cfg.BasicBlock`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.ops import Opcode, OpClass, op_info
+
+NodeId = int
+
+
+@dataclass
+class Node:
+    """One operation in a DFG.
+
+    Attributes:
+        node_id: Dense integer id, unique within the DFG.
+        opcode: The operation.
+        operands: Ids of producer nodes, in positional order.
+        array: For ``LOAD``/``STORE``, the scratchpad array name.
+        value: For ``CONST``, the literal value.
+        var: For ``INPUT``, the live-in variable name.
+    """
+
+    node_id: NodeId
+    opcode: Opcode
+    operands: Tuple[NodeId, ...] = ()
+    array: Optional[str] = None
+    value: Optional[float] = None
+    var: Optional[str] = None
+
+    @property
+    def info(self):
+        return op_info(self.opcode)
+
+    @property
+    def needs_fu(self) -> bool:
+        return self.info.needs_fu
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        extra = ""
+        if self.array is not None:
+            extra = f" @{self.array}"
+        if self.value is not None:
+            extra = f" ={self.value}"
+        if self.var is not None:
+            extra = f" %{self.var}"
+        ops = ", ".join(f"n{i}" for i in self.operands)
+        return f"n{self.node_id} = {self.opcode.value}({ops}){extra}"
+
+
+class DFG:
+    """A growable data flow graph embedded in one basic block."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self._const_cache: Dict[float, NodeId] = {}
+        self._input_cache: Dict[str, NodeId] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        opcode: Opcode,
+        operands: Sequence[NodeId] = (),
+        *,
+        array: Optional[str] = None,
+        value: Optional[float] = None,
+        var: Optional[str] = None,
+    ) -> NodeId:
+        """Append a node and return its id.
+
+        Raises:
+            IRError: on arity mismatch or dangling operand ids.
+        """
+        info = op_info(opcode)
+        if len(operands) != info.arity:
+            raise IRError(
+                f"{opcode.value} expects {info.arity} operands, "
+                f"got {len(operands)}"
+            )
+        for operand in operands:
+            if not 0 <= operand < len(self.nodes):
+                raise IRError(
+                    f"operand n{operand} does not exist (DFG has "
+                    f"{len(self.nodes)} nodes)"
+                )
+        if opcode in (Opcode.LOAD, Opcode.STORE) and not array:
+            raise IRError(f"{opcode.value} requires an array name")
+        node_id = len(self.nodes)
+        self.nodes.append(
+            Node(node_id, opcode, tuple(operands), array=array, value=value,
+                 var=var)
+        )
+        return node_id
+
+    def const(self, value: float) -> NodeId:
+        """Return a (deduplicated) constant node."""
+        key = value
+        if key not in self._const_cache:
+            self._const_cache[key] = self.add(Opcode.CONST, value=value)
+        return self._const_cache[key]
+
+    def input(self, var: str) -> NodeId:
+        """Return a (deduplicated) live-in read of variable ``var``."""
+        if var not in self._input_cache:
+            self._input_cache[var] = self.add(Opcode.INPUT, var=var)
+        return self._input_cache[var]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def node(self, node_id: NodeId) -> Node:
+        return self.nodes[node_id]
+
+    @property
+    def fu_nodes(self) -> List[Node]:
+        """Nodes that occupy a function unit when mapped (non-meta)."""
+        return [n for n in self.nodes if n.needs_fu]
+
+    @property
+    def op_count(self) -> int:
+        """Number of FU operations (the paper's "operators")."""
+        return len(self.fu_nodes)
+
+    @property
+    def live_ins(self) -> List[str]:
+        """Live-in variable names, in first-use order."""
+        seen = []
+        for node in self.nodes:
+            if node.opcode is Opcode.INPUT and node.var not in seen:
+                seen.append(node.var)
+        return seen
+
+    def consumers(self) -> Dict[NodeId, List[NodeId]]:
+        """Map producer id -> list of consumer ids."""
+        out: Dict[NodeId, List[NodeId]] = {n.node_id: [] for n in self.nodes}
+        for node in self.nodes:
+            for operand in node.operands:
+                out[operand].append(node.node_id)
+        return out
+
+    def critical_path_length(self) -> int:
+        """Longest latency chain through the DFG, in cycles.
+
+        This is the drain time of a spatial pipeline executing the block: the
+        longest accumulated FU latency over any dependence chain.
+        """
+        depth: Dict[NodeId, int] = {}
+        for node in self.nodes:  # creation order is topological
+            base = max((depth[o] for o in node.operands), default=0)
+            depth[node.node_id] = base + node.info.latency
+        return max(depth.values(), default=0)
+
+    def depth_of(self, node_id: NodeId) -> int:
+        """Accumulated latency from DFG inputs to the *output* of a node."""
+        depth: Dict[NodeId, int] = {}
+        for node in self.nodes:
+            base = max((depth[o] for o in node.operands), default=0)
+            depth[node.node_id] = base + node.info.latency
+        return depth[node_id]
+
+    def op_histogram(self) -> Dict[Opcode, int]:
+        """Opcode -> static count, FU ops only."""
+        hist: Dict[Opcode, int] = {}
+        for node in self.fu_nodes:
+            hist[node.opcode] = hist.get(node.opcode, 0) + 1
+        return hist
+
+    def nonlinear_op_count(self) -> int:
+        return sum(
+            1 for n in self.fu_nodes if n.info.op_class is OpClass.NONLINEAR
+        )
+
+    def memory_op_count(self) -> int:
+        return sum(1 for n in self.fu_nodes if n.info.is_memory)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`IRError` on violation.
+
+        Invariants: operand ids precede their consumers (topological creation
+        order), arities match, memory nodes carry array names.
+        """
+        for node in self.nodes:
+            info = node.info
+            if len(node.operands) != info.arity:
+                raise IRError(f"node {node!r}: arity mismatch")
+            for operand in node.operands:
+                if operand >= node.node_id:
+                    raise IRError(
+                        f"node {node!r}: operand n{operand} does not precede it"
+                    )
+            if info.is_memory and not node.array:
+                raise IRError(f"node {node!r}: memory op without array")
+            if node.opcode is Opcode.CONST and node.value is None:
+                raise IRError(f"node {node!r}: const without value")
+            if node.opcode is Opcode.INPUT and not node.var:
+                raise IRError(f"node {node!r}: input without variable name")

@@ -1,0 +1,222 @@
+"""Opcode taxonomy for the CDFG IR.
+
+Opcodes are grouped into classes that matter to the architecture models:
+
+* ``ARITH`` / ``LOGIC`` / ``COMPARE`` — ordinary single-result FU operations;
+* ``MEMORY`` — loads and stores against named scratchpad arrays;
+* ``NONLINEAR`` — transcendental operators served by the four
+  "nonlinear-fitting" PEs of the prototype (paper Table 4);
+* ``META`` — constants and live-in reads that consume no FU.
+
+``op_info`` exposes per-opcode static properties (latency, arity, an
+evaluation function for the functional interpreter).  The default execution
+latency of two cycles follows the paper's relative-timing assumption
+(Section 2.3: "executing an instruction takes two cycles").
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import IRError
+
+_INT_MASK = 0xFFFFFFFF
+
+
+def _as_int(x: float) -> int:
+    """Coerce an interpreter value to a Python int (C-style truncation)."""
+    return int(x)
+
+
+def _wrap32(x: int) -> int:
+    """Wrap an integer to unsigned 32-bit, matching the 32-bit datapath."""
+    return _as_int(x) & _INT_MASK
+
+
+class OpClass(enum.Enum):
+    """Functional class of an opcode, as seen by the hardware."""
+
+    ARITH = "arith"
+    LOGIC = "logic"
+    COMPARE = "compare"
+    MEMORY = "memory"
+    NONLINEAR = "nonlinear"
+    META = "meta"
+
+
+class Opcode(enum.Enum):
+    """All operations the data flow plane can execute."""
+
+    # Meta (no FU): constants and live-in variable reads.
+    CONST = "const"
+    INPUT = "input"
+
+    # Integer/float arithmetic.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    NEG = "neg"
+
+    # Bitwise / shifts (32-bit semantics).
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+
+    # Comparisons (produce 0/1).
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+    # Selection (cond ? a : b) — the predication primitive.
+    SELECT = "select"
+
+    # Memory ops against named arrays.
+    LOAD = "load"
+    STORE = "store"
+
+    # Nonlinear-fitting PE operations.
+    LOG = "log"
+    EXP = "exp"
+    SQRT = "sqrt"
+    SIGMOID = "sigmoid"
+    SIN = "sin"
+    COS = "cos"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    opcode: Opcode
+    op_class: OpClass
+    arity: int
+    latency: int
+    commutative: bool
+    evaluate: Optional[Callable[..., float]]
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op_class is OpClass.MEMORY
+
+    @property
+    def needs_fu(self) -> bool:
+        """Whether the op occupies a function unit when mapped to a PE."""
+        return self.op_class is not OpClass.META
+
+
+def _div(a, b):
+    if b == 0:
+        raise IRError("division by zero in DFG evaluation")
+    if isinstance(a, int) and isinstance(b, int):
+        # C-style truncating division.
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def _mod(a, b):
+    if b == 0:
+        raise IRError("modulo by zero in DFG evaluation")
+    if isinstance(a, int) and isinstance(b, int):
+        # C-style remainder (sign of the dividend).
+        return a - _div(a, b) * b
+    return math.fmod(a, b)
+
+
+def _shl(a, b):
+    return _wrap32(_as_int(a) << (_as_int(b) & 31))
+
+
+def _shr(a, b):
+    return _wrap32(a) >> (_as_int(b) & 31)
+
+
+def _sigmoid(a):
+    return 1.0 / (1.0 + math.exp(-a))
+
+
+_TWO_CYCLE = 2
+
+_RAW_INFO: Tuple[Tuple[Opcode, OpClass, int, int, bool, Optional[Callable]], ...] = (
+    (Opcode.CONST, OpClass.META, 0, 0, False, None),
+    (Opcode.INPUT, OpClass.META, 0, 0, False, None),
+    (Opcode.ADD, OpClass.ARITH, 2, _TWO_CYCLE, True, lambda a, b: a + b),
+    (Opcode.SUB, OpClass.ARITH, 2, _TWO_CYCLE, False, lambda a, b: a - b),
+    (Opcode.MUL, OpClass.ARITH, 2, _TWO_CYCLE, True, lambda a, b: a * b),
+    (Opcode.DIV, OpClass.ARITH, 2, _TWO_CYCLE, False, _div),
+    (Opcode.MOD, OpClass.ARITH, 2, _TWO_CYCLE, False, _mod),
+    (Opcode.MIN, OpClass.ARITH, 2, _TWO_CYCLE, True, min),
+    (Opcode.MAX, OpClass.ARITH, 2, _TWO_CYCLE, True, max),
+    (Opcode.ABS, OpClass.ARITH, 1, _TWO_CYCLE, False, abs),
+    (Opcode.NEG, OpClass.ARITH, 1, _TWO_CYCLE, False, lambda a: -a),
+    (Opcode.AND, OpClass.LOGIC, 2, _TWO_CYCLE, True,
+     lambda a, b: _wrap32(a) & _wrap32(b)),
+    (Opcode.OR, OpClass.LOGIC, 2, _TWO_CYCLE, True,
+     lambda a, b: _wrap32(a) | _wrap32(b)),
+    (Opcode.XOR, OpClass.LOGIC, 2, _TWO_CYCLE, True,
+     lambda a, b: _wrap32(a) ^ _wrap32(b)),
+    (Opcode.NOT, OpClass.LOGIC, 1, _TWO_CYCLE, False,
+     lambda a: _wrap32(~_as_int(a))),
+    (Opcode.SHL, OpClass.LOGIC, 2, _TWO_CYCLE, False, _shl),
+    (Opcode.SHR, OpClass.LOGIC, 2, _TWO_CYCLE, False, _shr),
+    (Opcode.EQ, OpClass.COMPARE, 2, _TWO_CYCLE, True,
+     lambda a, b: int(a == b)),
+    (Opcode.NE, OpClass.COMPARE, 2, _TWO_CYCLE, True,
+     lambda a, b: int(a != b)),
+    (Opcode.LT, OpClass.COMPARE, 2, _TWO_CYCLE, False,
+     lambda a, b: int(a < b)),
+    (Opcode.LE, OpClass.COMPARE, 2, _TWO_CYCLE, False,
+     lambda a, b: int(a <= b)),
+    (Opcode.GT, OpClass.COMPARE, 2, _TWO_CYCLE, False,
+     lambda a, b: int(a > b)),
+    (Opcode.GE, OpClass.COMPARE, 2, _TWO_CYCLE, False,
+     lambda a, b: int(a >= b)),
+    (Opcode.SELECT, OpClass.ARITH, 3, _TWO_CYCLE, False,
+     lambda c, a, b: a if c else b),
+    (Opcode.LOAD, OpClass.MEMORY, 1, _TWO_CYCLE, False, None),
+    (Opcode.STORE, OpClass.MEMORY, 2, _TWO_CYCLE, False, None),
+    (Opcode.LOG, OpClass.NONLINEAR, 1, _TWO_CYCLE, False, math.log),
+    (Opcode.EXP, OpClass.NONLINEAR, 1, _TWO_CYCLE, False, math.exp),
+    (Opcode.SQRT, OpClass.NONLINEAR, 1, _TWO_CYCLE, False, math.sqrt),
+    (Opcode.SIGMOID, OpClass.NONLINEAR, 1, _TWO_CYCLE, False, _sigmoid),
+    (Opcode.SIN, OpClass.NONLINEAR, 1, _TWO_CYCLE, False, math.sin),
+    (Opcode.COS, OpClass.NONLINEAR, 1, _TWO_CYCLE, False, math.cos),
+)
+
+OPCODE_INFO: Dict[Opcode, OpInfo] = {
+    opcode: OpInfo(opcode, op_class, arity, latency, commutative, evaluate)
+    for opcode, op_class, arity, latency, commutative, evaluate in _RAW_INFO
+}
+
+
+def op_info(opcode: Opcode) -> OpInfo:
+    """Return the static :class:`OpInfo` for ``opcode``."""
+    try:
+        return OPCODE_INFO[opcode]
+    except KeyError:  # pragma: no cover - all opcodes are registered
+        raise IRError(f"unknown opcode: {opcode!r}")
+
+
+#: Comparison opcodes, usable as branch conditions directly.
+COMPARE_OPCODES = frozenset(
+    op for op, info in OPCODE_INFO.items() if info.op_class is OpClass.COMPARE
+)
+
+#: Opcodes that require a nonlinear-fitting PE.
+NONLINEAR_OPCODES = frozenset(
+    op for op, info in OPCODE_INFO.items() if info.op_class is OpClass.NONLINEAR
+)

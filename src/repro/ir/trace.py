@@ -1,0 +1,114 @@
+"""Dynamic execution traces.
+
+The functional interpreter records the sequence of executed basic blocks as
+**runs** ``(block, count)`` — maximal stretches of consecutive executions of
+the same block.  Runs are exactly the unit the architecture timing models
+price: a run of an innermost loop-body block is one pipelined burst; a
+transition between different blocks is a control flow transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.cdfg import CDFG
+from repro.ir.cfg import BlockId
+
+
+@dataclass(frozen=True)
+class Run:
+    """``count`` consecutive executions of block ``block``."""
+
+    block: BlockId
+    count: int
+
+
+class DynamicTrace:
+    """Aggregated dynamic behaviour of one kernel execution."""
+
+    def __init__(self, kernel: str) -> None:
+        self.kernel = kernel
+        self.runs: List[Run] = []
+        self.exec_counts: Dict[BlockId, int] = {}
+        self.edge_counts: Dict[Tuple[BlockId, BlockId], int] = {}
+        self._open_block: Optional[BlockId] = None
+        self._open_count = 0
+
+    # ------------------------------------------------------------------
+    # Recording (used by the interpreter)
+    # ------------------------------------------------------------------
+    def record(self, block: BlockId) -> None:
+        """Record one execution of ``block``."""
+        if block == self._open_block:
+            self._open_count += 1
+        else:
+            if self._open_block is not None:
+                self.runs.append(Run(self._open_block, self._open_count))
+                self.edge_counts[(self._open_block, block)] = (
+                    self.edge_counts.get((self._open_block, block), 0) + 1
+                )
+            self._open_block = block
+            self._open_count = 1
+        self.exec_counts[block] = self.exec_counts.get(block, 0) + 1
+
+    def finish(self) -> None:
+        """Flush the open run; called once when execution halts."""
+        if self._open_block is not None:
+            self.runs.append(Run(self._open_block, self._open_count))
+            self._open_block = None
+            self._open_count = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total_block_execs(self) -> int:
+        return sum(self.exec_counts.values())
+
+    def execs_of(self, block: BlockId) -> int:
+        return self.exec_counts.get(block, 0)
+
+    def runs_of(self, block: BlockId) -> List[Run]:
+        return [r for r in self.runs if r.block == block]
+
+    def transitions(self) -> int:
+        """Number of block-to-block control transfers (run boundaries)."""
+        return max(0, len(self.runs) - 1)
+
+    def dynamic_op_count(self, cdfg: CDFG) -> int:
+        """Total FU operations executed."""
+        return sum(
+            cdfg.block(bid).op_count * n for bid, n in self.exec_counts.items()
+        )
+
+    def dynamic_ops_in(self, cdfg: CDFG, blocks: Iterable[BlockId]) -> int:
+        """FU operations executed within the given block set."""
+        wanted: Set[BlockId] = set(blocks)
+        return sum(
+            cdfg.block(bid).op_count * n
+            for bid, n in self.exec_counts.items()
+            if bid in wanted
+        )
+
+    def mean_run_length(self, block: BlockId) -> float:
+        """Average burst length of ``block`` (pipeline depth opportunity)."""
+        runs = self.runs_of(block)
+        if not runs:
+            return 0.0
+        return sum(r.count for r in runs) / len(runs)
+
+    def validate(self) -> None:
+        """Internal consistency: runs must sum to exec counts."""
+        per_block: Dict[BlockId, int] = {}
+        for run in self.runs:
+            per_block[run.block] = per_block.get(run.block, 0) + run.count
+        assert per_block == self.exec_counts, (
+            "trace runs disagree with execution counts"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DynamicTrace({self.kernel}: {len(self.runs)} runs, "
+            f"{self.total_block_execs} block execs)"
+        )

@@ -1,0 +1,37 @@
+"""The Marionette ISA: decoupled control-plane and data-plane instructions.
+
+A PE's instruction buffer holds :class:`~repro.isa.program.TriggerEntry`
+records addressed by *instruction address* — the unit of control flow in
+Marionette ("the control flow is represented by instruction addresses",
+paper Section 4.1).  Each entry pairs one data-plane instruction (what the
+FU does while this address is live) with one control-plane directive (what
+the Control Flow Sender does about other PEs' addresses).
+"""
+
+from repro.isa.operands import Operand, OperandKind, Dest
+from repro.isa.data import DataInstruction, DataKind
+from repro.isa.control import ControlDirective, SenderMode
+from repro.isa.program import TriggerEntry, PEProgram, ArrayProgram
+from repro.isa.encoding import (
+    decode_entry,
+    encode_entry,
+    decode_program,
+    encode_program,
+)
+
+__all__ = [
+    "Operand",
+    "OperandKind",
+    "Dest",
+    "DataInstruction",
+    "DataKind",
+    "ControlDirective",
+    "SenderMode",
+    "TriggerEntry",
+    "PEProgram",
+    "ArrayProgram",
+    "encode_entry",
+    "decode_entry",
+    "encode_program",
+    "decode_program",
+]

@@ -1,0 +1,28 @@
+"""Micro-architectural cycle simulator of the Marionette PE array.
+
+This is tier (a) of the evaluation stack (see DESIGN.md): an ISA-level,
+cycle-stepped model of the control flow plane (Control Flow Trigger /
+Scheduler / Sender), the data flow plane (FU, local registers, token ports),
+the CS-Benes control network and the data mesh.  It executes
+:class:`~repro.isa.program.ArrayProgram` configurations and is used to
+validate the mechanisms cycle-by-cycle (configuration hidden behind
+computation, loop pipelining, branch steering).
+"""
+
+from repro.sim.fifo import Fifo
+from repro.sim.memory import Scratchpad
+from repro.sim.events import DataToken, CtrlMsg, PEStats, ArrayStats
+from repro.sim.pe import MarionettePE
+from repro.sim.array import ArraySimulator, SimulationResult
+
+__all__ = [
+    "Fifo",
+    "Scratchpad",
+    "DataToken",
+    "CtrlMsg",
+    "PEStats",
+    "ArrayStats",
+    "MarionettePE",
+    "ArraySimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,226 @@
+"""The whole-array simulator: PEs + control network + data mesh + memory.
+
+Per cycle:
+
+1. deliver in-flight data tokens and control messages due this cycle;
+2. offer queued control messages to the CS-Benes network (destination
+   conflicts retry next cycle — the "no arbitration during control
+   transfers" property holds for conflict-free sets);
+3. step every PE (control part, then data part); collect emitted control
+   messages and completed firings;
+4. turn firing outcomes into scratchpad accesses and mesh tokens
+   (fixed ``data_net_latency`` per remote transfer, same-PE register/port
+   forwarding immediate).
+
+The simulation halts when a control message reaches the controller port
+(kernels route their final basic block's exit there) or when the array goes
+quiescent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.arch.network.cs_benes import ControlMessage, ControlNetwork
+from repro.arch.params import ArchParams
+from repro.isa.control import SenderMode
+from repro.isa.operands import DestKind
+from repro.isa.program import ArrayProgram
+from repro.sim.events import ArrayStats, CtrlMsg, DataToken
+from repro.sim.memory import Scratchpad
+from repro.sim.pe import MarionettePE
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one array simulation."""
+
+    cycles: int
+    stats: ArrayStats
+    scratchpad: Scratchpad
+    halted: bool
+
+    def array_out(self, program: ArrayProgram, name: str) -> np.ndarray:
+        """Dump a named array image from the scratchpad."""
+        for array_id, (aname, base, length) in program.array_table.items():
+            if aname == name:
+                return self.scratchpad.dump_array(base, length)
+        raise SimulationError(f"array {name!r} not in program table")
+
+
+class ArraySimulator:
+    """Cycle-stepped simulator of a Marionette array."""
+
+    def __init__(self, params: ArchParams, program: ArrayProgram,
+                 *, scratchpad_words: Optional[int] = None) -> None:
+        program.validate()
+        self.params = params
+        self.program = program
+        words = scratchpad_words or (params.sram_kb * 1024 // 4)
+        self.scratchpad = Scratchpad(words, banks=params.sram_banks)
+        self.network = ControlNetwork(
+            params.n_pes, latency=params.ctrl_net_latency
+        )
+        steered = self._steered_pes()
+        self.pes: Dict[int, MarionettePE] = {
+            pe: MarionettePE(
+                pe, program.program_for(pe),
+                t_config=params.t_config, t_execute=params.t_execute,
+                fifo_depth=params.control_fifo_depth,
+                steered=pe in steered,
+            )
+            for pe in range(params.n_pes)
+        }
+        for (pe, reg), value in program.reg_init.items():
+            self.pes[pe].data.regs[reg] = value
+        # In-flight queues keyed by delivery cycle.
+        self._data_inflight: Dict[int, List[DataToken]] = {}
+        self._ctrl_inflight: Dict[int, List[CtrlMsg]] = {}
+        self._ctrl_queue: List[CtrlMsg] = []
+        self._controller_msgs: List[CtrlMsg] = []
+        self.stats = ArrayStats()
+
+    # ------------------------------------------------------------------
+    def _steered_pes(self) -> set:
+        out = set()
+        for pe, pe_program in self.program.pe_programs.items():
+            for entry in pe_program:
+                if entry.control.mode is SenderMode.BRANCH:
+                    out.update(entry.control.targets)
+        return out
+
+    # ------------------------------------------------------------------
+    def load_array(self, name: str, values) -> None:
+        """Pre-load a named array image into the scratchpad."""
+        for array_id, (aname, base, length) in self.program.array_table.items():
+            if aname == name:
+                if len(values) > length:
+                    raise SimulationError(
+                        f"array {name!r}: {len(values)} values exceed "
+                        f"declared length {length}"
+                    )
+                self.scratchpad.load_array(base, values)
+                return
+        raise SimulationError(f"array {name!r} not in program table")
+
+    # ------------------------------------------------------------------
+    def run(self, *, max_cycles: int = 200_000,
+            halt_messages: int = 1) -> SimulationResult:
+        """Run until the controller hears ``halt_messages`` exits, the
+        array quiesces, or ``max_cycles`` elapse."""
+        # Cycle 0: the controller pushes initial configurations.
+        for pe, addr in self.program.initial_addrs.items():
+            self._ctrl_queue.append(
+                CtrlMsg(dst_pe=pe, addr=addr, src_pe=self.params.n_pes)
+            )
+
+        cycle = 0
+        idle_streak = 0
+        while cycle < max_cycles:
+            busy = self._step_cycle(cycle)
+            cycle += 1
+            if len(self._controller_msgs) >= halt_messages:
+                self.stats.halted = True
+                break
+            idle_streak = 0 if busy else idle_streak + 1
+            if idle_streak > 4 * self.params.data_net_latency + 8:
+                break
+        self.stats.cycles = cycle
+        self.stats.pe_stats = {pe: p.stats for pe, p in self.pes.items()}
+        self.stats.ctrl_network_conflicts = self.network.conflicts
+        self.stats.ctrl_msgs_delivered = self.network.messages_delivered
+        return SimulationResult(
+            cycles=cycle, stats=self.stats, scratchpad=self.scratchpad,
+            halted=self.stats.halted,
+        )
+
+    # ------------------------------------------------------------------
+    def _step_cycle(self, cycle: int) -> bool:
+        busy = False
+
+        # 1. Deliveries due this cycle.
+        for token in self._data_inflight.pop(cycle, []):
+            self.pes[token.dst_pe].receive_data(token.port, token.value)
+            busy = True
+        for msg in self._ctrl_inflight.pop(cycle, []):
+            if msg.dst_pe >= self.params.n_pes:
+                self._controller_msgs.append(msg)
+            elif not self.pes[msg.dst_pe].receive_ctrl(msg):
+                self._ctrl_queue.append(msg)  # control FIFO full: retry
+            busy = True
+
+        # 2. Offer queued control messages to the network.  A sender's
+        # same-address fan-out is one multicast (the CS stage spreads it).
+        if self._ctrl_queue:
+            groups: Dict[Tuple[int, int, bool], List[CtrlMsg]] = {}
+            for m in self._ctrl_queue:
+                groups.setdefault((m.src_pe, m.addr, m.steer), []).append(m)
+            offered = [
+                ControlMessage.to(
+                    max(0, src), [m.dst_pe for m in msgs], payload=msgs
+                )
+                for (src, _addr, _steer), msgs in groups.items()
+            ]
+            report = self.network.offer(offered)
+            self._ctrl_queue = [
+                m for rejected in report.rejected for m in rejected.payload
+            ]
+            arrival = cycle + self.params.ctrl_net_latency
+            for delivered in report.delivered:
+                self._ctrl_inflight.setdefault(arrival, []).extend(
+                    delivered.payload
+                )
+            busy = True
+
+        # 3. Step PEs.
+        for pe in self.pes.values():
+            msgs, outcomes = pe.step(cycle)
+            if msgs or outcomes:
+                busy = True
+            self._ctrl_queue.extend(msgs)
+            for outcome in outcomes:
+                self._apply_outcome(pe.pe, outcome, cycle)
+
+        if any(pe.data.inflight for pe in self.pes.values()):
+            busy = True
+        if self._data_inflight or self._ctrl_inflight or self._ctrl_queue:
+            busy = True
+        return busy
+
+    # ------------------------------------------------------------------
+    def _apply_outcome(self, pe: int, outcome, cycle: int) -> None:
+        value = outcome.value
+        if outcome.load is not None:
+            array_id, index = outcome.load
+            name, base, length = self.program.array_table[array_id]
+            if not 0 <= index < length:
+                raise SimulationError(
+                    f"PE {pe}: {name}[{index}] out of bounds"
+                )
+            value = self.scratchpad.read(base + index, cycle)
+        if outcome.store is not None:
+            array_id, index, stored = outcome.store
+            name, base, length = self.program.array_table[array_id]
+            if not 0 <= index < length:
+                raise SimulationError(
+                    f"PE {pe}: {name}[{index}] out of bounds"
+                )
+            self.scratchpad.write(base + index, stored, cycle)
+            return
+        if value is None:
+            return
+        for dest in outcome.dests:
+            if dest.kind is not DestKind.PE_PORT:
+                continue  # REG/CONTROL handled in the data path
+            if dest.pe == pe:
+                self.pes[pe].receive_data(dest.port, value)
+            else:
+                arrival = cycle + self.params.data_net_latency
+                self._data_inflight.setdefault(arrival, []).append(
+                    DataToken(dest.pe, dest.port, value)
+                )
+                self.pes[pe].stats.data_tokens_sent += 1

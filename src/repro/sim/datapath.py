@@ -1,0 +1,210 @@
+"""The data flow part of a Marionette PE.
+
+A pipelined function unit (one issue per cycle, ``t_execute`` cycles to
+complete), ``N_PORTS`` token input FIFOs fed by the mesh, and a small local
+register file.  The live instruction is a *standing* configuration: it fires
+whenever its port sources all hold tokens, giving the producer/consumer
+pipeline its II of 1 in the steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.ir.ops import op_info
+from repro.isa.data import DataInstruction, DataKind
+from repro.isa.operands import Dest, DestKind, N_PORTS, N_REGS, Operand, OperandKind
+from repro.isa.program import TriggerEntry
+from repro.sim.fifo import Fifo
+
+
+@dataclass
+class Firing:
+    """An operation in flight through the FU pipeline."""
+
+    complete_cycle: int
+    instruction: DataInstruction
+    values: Tuple[float, ...]
+    result: Optional[float] = None
+
+
+@dataclass
+class FiringOutcome:
+    """What a completed firing produces (consumed by the array)."""
+
+    dests: Tuple[Dest, ...]
+    value: Optional[float] = None
+    store: Optional[Tuple[int, int, float]] = None  # (array_id, index, value)
+    load: Optional[Tuple[int, int]] = None          # (array_id, index)
+    branch_result: Optional[bool] = None
+    loop_exit: bool = False
+
+
+class DataFlowPart:
+    """FU + ports + registers for one PE."""
+
+    def __init__(self, pe: int, *, t_execute: int) -> None:
+        self.pe = pe
+        self.t_execute = t_execute
+        self.ports: List[Fifo[float]] = [
+            Fifo(None, name=f"pe{pe}.port{i}") for i in range(N_PORTS)
+        ]
+        self.regs: List[float] = [0] * N_REGS
+        self.inflight: List[Firing] = []
+        # Loop operator state.
+        self._loop_latched = False
+        self._loop_cur = 0
+        self._loop_hi = 0
+        self._loop_step = 1
+        self.loop_exhausted = False
+        self.firings = 0
+
+    # ------------------------------------------------------------------
+    def push_token(self, port: int, value: float) -> None:
+        if not 0 <= port < N_PORTS:
+            raise SimulationError(f"PE {self.pe}: port {port} out of range")
+        self.ports[port].push(value)
+
+    def rearm_loop(self) -> None:
+        """Restart the loop operator for a new run (new bounds latch)."""
+        self._loop_latched = False
+        self.loop_exhausted = False
+
+    # ------------------------------------------------------------------
+    def _self_recurrence_blocked(self, instruction: DataInstruction) -> bool:
+        if not self.inflight:
+            return False
+        read_regs = {
+            o.value for o in instruction.srcs
+            if o.kind is OperandKind.REG
+        }
+        if not read_regs:
+            return False
+        for firing in self.inflight:
+            for dest in firing.instruction.dests:
+                if dest.kind is DestKind.REG and dest.port in read_regs:
+                    return True
+        return False
+
+    def _operand_ready(self, operand: Operand) -> bool:
+        if operand.kind is OperandKind.PORT:
+            return not self.ports[operand.value].empty
+        return True
+
+    def _read_operand(self, operand: Operand) -> float:
+        if operand.kind is OperandKind.PORT:
+            return self.ports[operand.value].pop()
+        if operand.kind is OperandKind.REG:
+            return self.regs[operand.value]
+        return operand.value
+
+    def can_fire(self, instruction: DataInstruction) -> bool:
+        """Whether all required port sources hold tokens.
+
+        An instruction that reads a register it also writes (a loop-carried
+        accumulator) must wait for its in-flight predecessor: the self
+        recurrence bounds its II at ``t_execute``.
+        """
+        if instruction.kind is DataKind.NOP:
+            return False
+        if self._self_recurrence_blocked(instruction):
+            return False
+        if instruction.kind is DataKind.LOOP:
+            if self.loop_exhausted:
+                return False
+            if self._loop_latched:
+                return True
+            return all(
+                self._operand_ready(o) for o in instruction.loop_bounds
+            )
+        return all(self._operand_ready(o) for o in instruction.srcs)
+
+    # ------------------------------------------------------------------
+    def issue(self, instruction: DataInstruction, cycle: int) -> None:
+        """Consume operands and enter the FU pipeline (one per cycle)."""
+        if instruction.kind is DataKind.LOOP:
+            if not self._loop_latched:
+                lo = self._read_operand(instruction.loop_bounds[0])
+                hi = self._read_operand(instruction.loop_bounds[1])
+                step = self._read_operand(instruction.loop_bounds[2])
+                if step <= 0:
+                    raise SimulationError(
+                        f"PE {self.pe}: loop step must be positive"
+                    )
+                self._loop_latched = True
+                self._loop_cur = lo
+                self._loop_hi = hi
+                self._loop_step = step
+            if self._loop_cur >= self._loop_hi:
+                # Zero-trip loop: emit nothing, signal exit immediately.
+                self.loop_exhausted = True
+                values: Tuple[float, ...] = ()
+            else:
+                values = (self._loop_cur,)
+                self._loop_cur += self._loop_step
+                if self._loop_cur >= self._loop_hi:
+                    self.loop_exhausted = True
+        else:
+            values = tuple(self._read_operand(o) for o in instruction.srcs)
+        self.inflight.append(
+            Firing(cycle + self.t_execute, instruction, values)
+        )
+        self.firings += 1
+
+    def complete(self, cycle: int) -> List[FiringOutcome]:
+        """Finish firings due this cycle and report their outcomes."""
+        done = [f for f in self.inflight if f.complete_cycle <= cycle]
+        if not done:
+            return []
+        self.inflight = [f for f in self.inflight if f.complete_cycle > cycle]
+        outcomes: List[FiringOutcome] = []
+        for firing in done:
+            outcomes.append(self._finish(firing))
+        return outcomes
+
+    def _finish(self, firing: Firing) -> FiringOutcome:
+        instruction = firing.instruction
+        kind = instruction.kind
+        if kind is DataKind.COMPUTE:
+            assert instruction.opcode is not None
+            fn = op_info(instruction.opcode).evaluate
+            assert fn is not None
+            result = fn(*firing.values)
+            branch = None
+            if any(d.kind is DestKind.CONTROL for d in instruction.dests):
+                branch = bool(result)
+            for dest in instruction.dests:
+                if dest.kind is DestKind.REG:
+                    self.regs[dest.port] = result
+            return FiringOutcome(
+                dests=instruction.dests, value=result, branch_result=branch
+            )
+        if kind is DataKind.LOAD:
+            # Value resolved by the array, which owns the scratchpad.
+            index = int(firing.values[0])
+            return FiringOutcome(
+                dests=instruction.dests,
+                load=(instruction.array_id, index),
+            )
+        if kind is DataKind.STORE:
+            index = int(firing.values[0])
+            return FiringOutcome(
+                dests=(),
+                store=(instruction.array_id, index, firing.values[1]),
+            )
+        if kind is DataKind.LOOP:
+            is_last = self.loop_exhausted and not any(
+                f.instruction.kind is DataKind.LOOP for f in self.inflight
+            )
+            if not firing.values:  # zero-trip loop
+                return FiringOutcome(dests=(), loop_exit=True)
+            for dest in instruction.dests:
+                if dest.kind is DestKind.REG:
+                    self.regs[dest.port] = firing.values[0]
+            return FiringOutcome(
+                dests=instruction.dests, value=firing.values[0],
+                loop_exit=is_last,
+            )
+        raise SimulationError(f"unexpected firing of {kind}")  # pragma: no cover

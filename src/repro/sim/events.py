@@ -1,0 +1,82 @@
+"""Messages and statistics shared across the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class DataToken:
+    """A data-plane token in flight to ``(dst_pe, port)``."""
+
+    dst_pe: int
+    port: int
+    value: float
+
+
+@dataclass(frozen=True)
+class CtrlMsg:
+    """A control-plane message carrying an instruction address.
+
+    ``steer=True`` marks per-token steering from a BRANCH-mode sender: the
+    receiver consumes one steering address per firing (keeping token/config
+    pairing).  ``steer=False`` marks standing (re)configuration from DFG /
+    LOOP senders or the controller.
+    """
+
+    dst_pe: int
+    addr: int
+    src_pe: int = -1
+    steer: bool = False
+
+
+@dataclass
+class PEStats:
+    """Per-PE cycle accounting."""
+
+    pe: int
+    cycles_unconfigured: int = 0
+    cycles_configuring: int = 0
+    cycles_waiting: int = 0
+    cycles_executing: int = 0
+    firings: int = 0
+    configurations: int = 0
+    ctrl_msgs_sent: int = 0
+    data_tokens_sent: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.cycles_unconfigured + self.cycles_configuring
+            + self.cycles_waiting + self.cycles_executing
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles spent executing."""
+        total = self.total_cycles
+        return self.cycles_executing / total if total else 0.0
+
+
+@dataclass
+class ArrayStats:
+    """Whole-array accounting for one simulation."""
+
+    cycles: int = 0
+    pe_stats: Dict[int, PEStats] = field(default_factory=dict)
+    ctrl_network_conflicts: int = 0
+    ctrl_msgs_delivered: int = 0
+    halted: bool = False
+
+    @property
+    def mean_utilization(self) -> float:
+        stats = list(self.pe_stats.values())
+        if not stats:
+            return 0.0
+        return sum(s.utilization for s in stats) / len(stats)
+
+    def busiest_pe(self) -> Optional[int]:
+        if not self.pe_stats:
+            return None
+        return max(self.pe_stats.values(), key=lambda s: s.firings).pe

@@ -1,0 +1,71 @@
+"""Bounded FIFOs used for token ports and control queues."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, List, Optional, TypeVar
+
+from repro.errors import SimulationError
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """A bounded FIFO with occupancy statistics.
+
+    ``capacity=None`` models an unbounded queue (the simulator's data ports
+    use generous depths; the paper's simulator "optimistically offers high
+    memory access flexibility", Section 6.1).
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 name: str = "fifo") -> None:
+        if capacity is not None and capacity <= 0:
+            raise SimulationError("fifo capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def push(self, item: T) -> None:
+        if self.full:
+            raise SimulationError(f"push to full fifo {self.name!r}")
+        self._items.append(item)
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._items))
+
+    def try_push(self, item: T) -> bool:
+        if self.full:
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> T:
+        if self.empty:
+            raise SimulationError(f"pop from empty fifo {self.name!r}")
+        self.pops += 1
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        if self.empty:
+            raise SimulationError(f"peek at empty fifo {self.name!r}")
+        return self._items[0]
+
+    def drain(self) -> List[T]:
+        out = list(self._items)
+        self.pops += len(self._items)
+        self._items.clear()
+        return out

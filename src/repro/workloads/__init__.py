@@ -1,0 +1,34 @@
+"""The 13 evaluation workloads (paper Table 5).
+
+Ten control-intensive kernels (Merge Sort, FFT, Viterbi, NW, Hough
+Transform, CRC, ADPCM, SC Decode, LDPC Decode, GEMM) and three streaming
+kernels (Conv-1d, Sigmoid, Gray Processing).  Every workload carries an
+independent reference implementation; `WorkloadInstance.check()` validates
+the IR kernel against it on concrete random inputs.
+"""
+
+from repro.workloads.base import (
+    INTENSIVE,
+    NON_INTENSIVE,
+    SCALES,
+    Workload,
+    WorkloadInstance,
+)
+from repro.workloads.suite import (
+    ALL_WORKLOADS,
+    INTENSIVE_WORKLOADS,
+    NON_INTENSIVE_WORKLOADS,
+    get_workload,
+)
+
+__all__ = [
+    "INTENSIVE",
+    "NON_INTENSIVE",
+    "SCALES",
+    "Workload",
+    "WorkloadInstance",
+    "ALL_WORKLOADS",
+    "INTENSIVE_WORKLOADS",
+    "NON_INTENSIVE_WORKLOADS",
+    "get_workload",
+]

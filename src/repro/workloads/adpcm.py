@@ -1,0 +1,139 @@
+"""ADPCM Encode (MiBench, IMA ADPCM): serial branch chains.
+
+Control structure (Table 1): serial branches — sign handling, three
+quantisation decisions, predictor clamping and index clamping, all
+data-dependent, all on the critical path of a single flat loop.  There is
+almost no pipelinable loop nest here, which is why Agile PE Assignment
+barely helps ADPCM while the control network does (Fig. 16, left group).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.cdfg import CDFG
+from repro.workloads.base import INTENSIVE, Workload
+
+#: IMA ADPCM step-size table (89 entries) and index adjustment table.
+STEP_TABLE: List[int] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+INDEX_TABLE: List[int] = [-1, -1, -1, -1, 2, 4, 6, 8]
+
+
+class AdpcmEncode(Workload):
+    short = "ADPCM"
+    name = "adpcm"
+    group = INTENSIVE
+    paper_size = "2000 bytes"
+
+    def sizes(self, scale: str) -> Dict[str, int]:
+        return {"tiny": {"n": 32}, "small": {"n": 500},
+                "paper": {"n": 2000}}[scale]
+
+    def build(self, sizes: Mapping[str, int]) -> CDFG:
+        n = sizes["n"]
+        k = KernelBuilder(self.name)
+        k.array("pcm")
+        k.array("step_table")
+        k.array("index_table")
+        k.array("code_out")
+        k.set("pred", 0)
+        k.set("index", 0)
+        with k.loop("i", 0, n) as i:
+            step = k.load("step_table", k.get("index"))
+            diff = k.load("pcm", i) - k.get("pred")
+            with k.branch(diff < 0) as sign_br:
+                k.set("sign", 8)
+                k.set("diff", 0 - diff)
+            with sign_br.orelse():
+                k.set("sign", 0)
+                k.set("diff", diff)
+            # Quantise |diff| into 3 bits (serial branch chain).
+            k.set("code", 0)
+            k.set("diffq", step >> 3)
+            with k.branch(k.get("diff") >= step) as q4:
+                k.set("code", 4)
+                k.set("diff", k.get("diff") - step)
+                k.set("diffq", k.get("diffq") + step)
+            half = step >> 1
+            with k.branch(k.get("diff") >= half) as q2:
+                k.set("code", k.get("code") | 2)
+                k.set("diff", k.get("diff") - half)
+                k.set("diffq", k.get("diffq") + half)
+            quarter = step >> 2
+            with k.branch(k.get("diff") >= quarter) as q1:
+                k.set("code", k.get("code") | 1)
+                k.set("diffq", k.get("diffq") + quarter)
+            # Predictor update (sign branch + clamping branches).
+            with k.branch(k.get("sign").eq(8)) as pb:
+                k.set("pred", k.get("pred") - k.get("diffq"))
+            with pb.orelse():
+                k.set("pred", k.get("pred") + k.get("diffq"))
+            with k.branch(k.get("pred") > 32767) as c1:
+                k.set("pred", 32767)
+            with k.branch(k.get("pred") < -32768) as c2:
+                k.set("pred", -32768)
+            # Index update with clamping.
+            k.set("index",
+                  k.get("index") + k.load("index_table", k.get("code")))
+            with k.branch(k.get("index") < 0) as c3:
+                k.set("index", 0)
+            with k.branch(k.get("index") > 88) as c4:
+                k.set("index", 88)
+            k.store("code_out", i, k.get("code") | k.get("sign"))
+        return k.build()
+
+    def inputs(self, sizes, rng) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        n = sizes["n"]
+        # A smooth-ish signal keeps the predictor in realistic regimes.
+        t = np.arange(n)
+        signal = (
+            6000 * np.sin(t / 9.0) + 2500 * np.sin(t / 2.3)
+            + rng.integers(-500, 501, n)
+        ).astype(np.int64)
+        signal = np.clip(signal, -32768, 32767)
+        memory = {
+            "pcm": signal,
+            "step_table": np.array(STEP_TABLE, dtype=np.int64),
+            "index_table": np.array(INDEX_TABLE, dtype=np.int64),
+            "code_out": np.zeros(n, dtype=np.int64),
+        }
+        return memory, {}
+
+    def reference(self, sizes, memory, params) -> Dict[str, np.ndarray]:
+        pred, index = 0, 0
+        codes = []
+        for sample in np.asarray(memory["pcm"]):
+            step = STEP_TABLE[index]
+            diff = int(sample) - pred
+            sign = 8 if diff < 0 else 0
+            diff = -diff if diff < 0 else diff
+            code = 0
+            diffq = step >> 3
+            if diff >= step:
+                code = 4
+                diff -= step
+                diffq += step
+            if diff >= step >> 1:
+                code |= 2
+                diff -= step >> 1
+                diffq += step >> 1
+            if diff >= step >> 2:
+                code |= 1
+                diffq += step >> 2
+            pred = pred - diffq if sign else pred + diffq
+            pred = max(-32768, min(32767, pred))
+            index += INDEX_TABLE[code]
+            index = max(0, min(88, index))
+            codes.append(code | sign)
+        return {"code_out": np.array(codes, dtype=np.int64)}

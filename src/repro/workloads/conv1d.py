@@ -1,0 +1,62 @@
+"""Conv-1d: single-layer 1-D convolution (non-intensive control flow).
+
+One flat loop, taps unrolled in the body — the "simple single-layer loop"
+comparison point of Section 6.2 used to show Marionette does not hurt
+regular kernels (Fig. 17, right group).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.cdfg import CDFG
+from repro.workloads.base import NON_INTENSIVE, Workload
+
+#: filter width (unrolled into the loop body)
+TAPS = 4
+
+
+class Conv1d(Workload):
+    short = "CO"
+    name = "conv1d"
+    group = NON_INTENSIVE
+    paper_size = "16384"
+
+    def sizes(self, scale: str) -> Dict[str, int]:
+        return {"tiny": {"n": 64}, "small": {"n": 2048},
+                "paper": {"n": 16384}}[scale]
+
+    def build(self, sizes: Mapping[str, int]) -> CDFG:
+        n = sizes["n"]
+        k = KernelBuilder(self.name)
+        k.array("x")
+        k.array("w")
+        k.array("y")
+        with k.loop("i", 0, n - TAPS + 1) as i:
+            acc = k.load("x", i) * k.load("w", 0)
+            for t in range(1, TAPS):
+                acc = acc + k.load("x", i + t) * k.load("w", t)
+            k.store("y", i, acc)
+        return k.build()
+
+    def inputs(self, sizes, rng) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        n = sizes["n"]
+        memory = {
+            "x": rng.integers(-8, 9, n),
+            "w": rng.integers(-3, 4, TAPS),
+            "y": np.zeros(n, dtype=np.int64),
+        }
+        return memory, {}
+
+    def reference(self, sizes, memory, params) -> Dict[str, np.ndarray]:
+        n = sizes["n"]
+        x = np.asarray(memory["x"])
+        w = np.asarray(memory["w"])
+        out = np.zeros(n, dtype=np.int64)
+        valid = n - TAPS + 1
+        for t in range(TAPS):
+            out[:valid] += x[t:t + valid] * w[t]
+        return {"y": out}

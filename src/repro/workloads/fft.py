@@ -1,0 +1,108 @@
+"""FFT (MachSuite): iterative radix-2 decimation-in-time.
+
+Control structure (Table 1): innermost butterfly loop under imperfect
+nested loops — the stage loop doubles the span (``while m <= n``), the
+segment loop strides by a *data-dependent* step (``base += m``), and the
+butterfly loop's bound is computed in an outer body (``half = m / 2``) —
+the exact pattern that forces a von Neumann array through its CCU to
+re-configure the inner loop generator.
+
+Bit-reversal indices and twiddle factors are precomputed tables (the
+standard MachSuite arrangement).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.cdfg import CDFG
+from repro.workloads.base import INTENSIVE, Workload
+
+
+class Fft(Workload):
+    short = "FFT"
+    name = "fft"
+    group = INTENSIVE
+    paper_size = "1024 points"
+    atol = 1e-6
+
+    def sizes(self, scale: str) -> Dict[str, int]:
+        return {"tiny": {"n": 16}, "small": {"n": 256},
+                "paper": {"n": 1024}}[scale]
+
+    def build(self, sizes: Mapping[str, int]) -> CDFG:
+        n = sizes["n"]
+        if n & (n - 1):
+            raise ValueError("FFT size must be a power of two")
+        k = KernelBuilder(self.name)
+        k.array("re")     # input real
+        k.array("im")     # input imag
+        k.array("rev")    # bit-reversal permutation table
+        k.array("twr")    # twiddle real, n/2 entries
+        k.array("twi")    # twiddle imag, n/2 entries
+        k.array("wr")     # working real
+        k.array("wi")     # working imag
+        # Bit-reversal gather.
+        with k.loop("i", 0, n) as i:
+            src = k.load("rev", i)
+            k.store("wr", i, k.load("re", src))
+            k.store("wi", i, k.load("im", src))
+        # Stage loop: m = 2, 4, ..., n.
+        k.set("m", 2)
+        with k.while_(lambda: k.get("m") <= n, name="stage"):
+            k.set("half", k.get("m") / 2)
+            k.set("tstep", n / k.get("m"))
+            k.set("base", 0)
+            with k.while_(lambda: k.get("base") < n, name="segment"):
+                with k.loop("j", 0, k.get("half")) as j:
+                    idx1 = k.get("base") + j
+                    idx2 = idx1 + k.get("half")
+                    tw = j * k.get("tstep")
+                    c = k.load("twr", tw)
+                    s = k.load("twi", tw)
+                    xr = k.load("wr", idx2)
+                    xi = k.load("wi", idx2)
+                    tr = xr * c - xi * s
+                    ti = xr * s + xi * c
+                    ur = k.load("wr", idx1)
+                    ui = k.load("wi", idx1)
+                    k.store("wr", idx1, ur + tr)
+                    k.store("wi", idx1, ui + ti)
+                    k.store("wr", idx2, ur - tr)
+                    k.store("wi", idx2, ui - ti)
+                k.set("base", k.get("base") + k.get("m"))
+            k.set("m", k.get("m") * 2)
+        return k.build()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tables(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        bits = n.bit_length() - 1
+        rev = np.array(
+            [int(format(i, f"0{bits}b")[::-1], 2) for i in range(n)]
+        )
+        angles = -2.0 * math.pi * np.arange(n // 2) / n
+        return rev, np.cos(angles), np.sin(angles)
+
+    def inputs(self, sizes, rng) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        n = sizes["n"]
+        rev, twr, twi = self._tables(n)
+        memory = {
+            "re": rng.normal(0.0, 1.0, n),
+            "im": rng.normal(0.0, 1.0, n),
+            "rev": rev,
+            "twr": twr,
+            "twi": twi,
+            "wr": np.zeros(n, dtype=np.float64),
+            "wi": np.zeros(n, dtype=np.float64),
+        }
+        return memory, {}
+
+    def reference(self, sizes, memory, params) -> Dict[str, np.ndarray]:
+        x = np.asarray(memory["re"]) + 1j * np.asarray(memory["im"])
+        spectrum = np.fft.fft(x)
+        return {"wr": spectrum.real, "wi": spectrum.imag}

@@ -1,0 +1,59 @@
+"""GEMM (MachSuite): blocked dense matrix multiply.
+
+Control structure (Table 1): imperfect nested loops — the accumulator is
+initialised in the middle loop body and the result is stored there, so the
+two outer levels carry real computation around the innermost MAC loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.cdfg import CDFG
+from repro.workloads.base import INTENSIVE, Workload
+
+
+class Gemm(Workload):
+    short = "GEMM"
+    name = "gemm"
+    group = INTENSIVE
+    paper_size = "64 x 64"
+
+    def sizes(self, scale: str) -> Dict[str, int]:
+        return {"tiny": {"n": 6}, "small": {"n": 20},
+                "paper": {"n": 64}}[scale]
+
+    def build(self, sizes: Mapping[str, int]) -> CDFG:
+        n = sizes["n"]
+        k = KernelBuilder(self.name)
+        k.array("A")
+        k.array("B")
+        k.array("C")
+        with k.loop("i", 0, n) as i:
+            k.set("row", i * n)
+            with k.loop("j", 0, n) as j:
+                k.set("acc", 0)
+                with k.loop("kk", 0, n) as kk:
+                    a = k.load("A", k.get("row") + kk)
+                    b = k.load("B", kk * n + j)
+                    k.set("acc", k.get("acc") + a * b)
+                k.store("C", k.get("row") + j, k.get("acc"))
+        return k.build()
+
+    def inputs(self, sizes, rng) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        n = sizes["n"]
+        memory = {
+            "A": rng.integers(-4, 5, n * n),
+            "B": rng.integers(-4, 5, n * n),
+            "C": np.zeros(n * n, dtype=np.int64),
+        }
+        return memory, {}
+
+    def reference(self, sizes, memory, params) -> Dict[str, np.ndarray]:
+        n = sizes["n"]
+        a = np.asarray(memory["A"]).reshape(n, n)
+        b = np.asarray(memory["B"]).reshape(n, n)
+        return {"C": (a @ b).reshape(-1)}

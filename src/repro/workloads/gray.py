@@ -1,0 +1,57 @@
+"""Gray Processing: RGB-to-luma conversion (non-intensive control flow).
+
+Integer weighted sum with a divide, one flat loop over pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.cdfg import CDFG
+from repro.workloads.base import NON_INTENSIVE, Workload
+
+
+class GrayProcessing(Workload):
+    short = "GP"
+    name = "gray"
+    group = NON_INTENSIVE
+    paper_size = "16384"
+
+    def sizes(self, scale: str) -> Dict[str, int]:
+        return {"tiny": {"n": 64}, "small": {"n": 2048},
+                "paper": {"n": 16384}}[scale]
+
+    def build(self, sizes: Mapping[str, int]) -> CDFG:
+        n = sizes["n"]
+        k = KernelBuilder(self.name)
+        k.array("r")
+        k.array("g")
+        k.array("b")
+        k.array("gray")
+        with k.loop("i", 0, n) as i:
+            luma = (
+                k.load("r", i) * 299
+                + k.load("g", i) * 587
+                + k.load("b", i) * 114
+            ) / 1000
+            k.store("gray", i, luma)
+        return k.build()
+
+    def inputs(self, sizes, rng) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        n = sizes["n"]
+        memory = {
+            "r": rng.integers(0, 256, n),
+            "g": rng.integers(0, 256, n),
+            "b": rng.integers(0, 256, n),
+            "gray": np.zeros(n, dtype=np.int64),
+        }
+        return memory, {}
+
+    def reference(self, sizes, memory, params) -> Dict[str, np.ndarray]:
+        r = np.asarray(memory["r"])
+        g = np.asarray(memory["g"])
+        b = np.asarray(memory["b"])
+        return {"gray": (299 * r + 587 * g + 114 * b) // 1000}

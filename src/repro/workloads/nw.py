@@ -1,0 +1,95 @@
+"""NW — Needleman-Wunsch sequence alignment (MachSuite).
+
+Control structure (Table 1): nested branches in the innermost DP cell
+(match-vs-mismatch scoring plus the three-way max selection) inside nested
+loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.cdfg import CDFG
+from repro.workloads.base import INTENSIVE, Workload
+
+MATCH = 1
+MISMATCH = -1
+GAP = -1
+
+
+class NeedlemanWunsch(Workload):
+    short = "NW"
+    name = "nw"
+    group = INTENSIVE
+    paper_size = "128 x 128"
+
+    def sizes(self, scale: str) -> Dict[str, int]:
+        return {"tiny": {"n": 8}, "small": {"n": 48},
+                "paper": {"n": 128}}[scale]
+
+    def build(self, sizes: Mapping[str, int]) -> CDFG:
+        n = sizes["n"]
+        w = n + 1  # DP matrix row width
+        k = KernelBuilder(self.name)
+        k.array("seq_a")
+        k.array("seq_b")
+        k.array("score")
+        # Boundary rows/columns.
+        with k.loop("i0", 0, w) as i0:
+            k.store("score", i0, i0 * GAP)
+        with k.loop("j0", 1, w) as j0:
+            k.store("score", j0 * w, j0 * GAP)
+        # DP fill.
+        with k.loop("i", 1, w) as i:
+            k.set("row", i * w)
+            k.set("prow", (i - 1) * w)
+            with k.loop("j", 1, w) as j:
+                a = k.load("seq_a", i - 1)
+                b = k.load("seq_b", j - 1)
+                with k.branch(a.eq(b)) as br:
+                    k.set("sub", MATCH)
+                with br.orelse():
+                    k.set("sub", MISMATCH)
+                diag = k.load("score", k.get("prow") + j - 1) + k.get("sub")
+                up = k.load("score", k.get("prow") + j) + GAP
+                left = k.load("score", k.get("row") + j - 1) + GAP
+                # Three-way max as a nested branch chain.
+                with k.branch(diag >= up) as m1:
+                    k.set("best", diag)
+                with m1.orelse():
+                    k.set("best", up)
+                with k.branch(left > k.get("best")) as m2:
+                    k.set("best", left)
+                k.store("score", k.get("row") + j, k.get("best"))
+        return k.build()
+
+    def inputs(self, sizes, rng) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        n = sizes["n"]
+        w = n + 1
+        memory = {
+            "seq_a": rng.integers(0, 4, n),
+            "seq_b": rng.integers(0, 4, n),
+            "score": np.zeros(w * w, dtype=np.int64),
+        }
+        return memory, {}
+
+    def reference(self, sizes, memory, params) -> Dict[str, np.ndarray]:
+        n = sizes["n"]
+        w = n + 1
+        a = np.asarray(memory["seq_a"])
+        b = np.asarray(memory["seq_b"])
+        score = np.zeros((w, w), dtype=np.int64)
+        score[0, :] = np.arange(w) * GAP
+        score[:, 0] = np.arange(w) * GAP
+        for i in range(1, w):
+            for j in range(1, w):
+                sub = MATCH if a[i - 1] == b[j - 1] else MISMATCH
+                score[i, j] = max(
+                    score[i - 1, j - 1] + sub,
+                    score[i - 1, j] + GAP,
+                    score[i, j - 1] + GAP,
+                )
+        return {"score": score.reshape(-1)}

@@ -1,0 +1,48 @@
+"""Sigmoid: element-wise ``1 / (1 + exp(-x))`` (non-intensive control flow).
+
+Exercises the nonlinear-fitting PEs (Table 4: four of the sixteen PEs carry
+transcendental units) in a single flat loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.cdfg import CDFG
+from repro.workloads.base import NON_INTENSIVE, Workload
+
+
+class Sigmoid(Workload):
+    short = "SI"
+    name = "sigmoid"
+    group = NON_INTENSIVE
+    paper_size = "2048"
+    atol = 1e-9
+
+    def sizes(self, scale: str) -> Dict[str, int]:
+        return {"tiny": {"n": 64}, "small": {"n": 512},
+                "paper": {"n": 2048}}[scale]
+
+    def build(self, sizes: Mapping[str, int]) -> CDFG:
+        n = sizes["n"]
+        k = KernelBuilder(self.name)
+        k.array("x")
+        k.array("y")
+        with k.loop("i", 0, n) as i:
+            k.store("y", i, k.sigmoid(k.load("x", i)))
+        return k.build()
+
+    def inputs(self, sizes, rng) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        n = sizes["n"]
+        memory = {
+            "x": rng.normal(0.0, 2.0, n),
+            "y": np.zeros(n, dtype=np.float64),
+        }
+        return memory, {}
+
+    def reference(self, sizes, memory, params) -> Dict[str, np.ndarray]:
+        x = np.asarray(memory["x"])
+        return {"y": 1.0 / (1.0 + np.exp(-x))}

@@ -1,0 +1,93 @@
+"""Viterbi decoding (MachSuite): max-selection over predecessor states.
+
+Control structure (Table 1): innermost branch (the running-max update is a
+data-dependent branch per predecessor) inside imperfect nested loops (the
+per-state emission add and the per-step buffer swap live in outer bodies).
+
+Costs are integer negative-log-likelihoods (smaller is better), so the DP
+is a min-plus recurrence; ties resolve to the earlier predecessor, matching
+the reference exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.cdfg import CDFG
+from repro.workloads.base import INTENSIVE, Workload
+
+BIG = 1 << 20
+
+
+class Viterbi(Workload):
+    short = "VI"
+    name = "viterbi"
+    group = INTENSIVE
+    paper_size = "64 states; 140 obs; 64 tokens"
+
+    def sizes(self, scale: str) -> Dict[str, int]:
+        return {
+            "tiny": {"states": 6, "steps": 8, "symbols": 4},
+            "small": {"states": 20, "steps": 40, "symbols": 16},
+            "paper": {"states": 64, "steps": 140, "symbols": 64},
+        }[scale]
+
+    def build(self, sizes: Mapping[str, int]) -> CDFG:
+        s = sizes["states"]
+        t = sizes["steps"]
+        k = KernelBuilder(self.name)
+        k.array("init")       # initial costs, len s
+        k.array("trans")      # transition costs, s*s (prev*s + cur)
+        k.array("emit")       # emission costs, s*symbols
+        k.array("obs")        # observations, len t
+        k.array("cost")       # working cost buffer, len s
+        k.array("cost_next")  # next-step buffer, len s
+        k.array("out")        # final costs, len s
+        with k.loop("si", 0, s) as si:
+            k.store("cost", si, k.load("init", si))
+        with k.loop("step", 1, t) as step:
+            k.set("sym", k.load("obs", step))
+            with k.loop("cur", 0, s) as cur:
+                k.set("best", BIG)
+                with k.loop("prev", 0, s) as prev:
+                    cand = k.load("cost", prev) + k.load(
+                        "trans", prev * s + cur
+                    )
+                    with k.branch(cand < k.get("best")) as br:
+                        k.set("best", cand)
+                k.store(
+                    "cost_next", cur,
+                    k.get("best") + k.load("emit", cur * sizes["symbols"]
+                                           + k.get("sym")),
+                )
+            with k.loop("copy", 0, s) as copy:
+                k.store("cost", copy, k.load("cost_next", copy))
+        with k.loop("fin", 0, s) as fin:
+            k.store("out", fin, k.load("cost", fin))
+        return k.build()
+
+    def inputs(self, sizes, rng) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        s, t, m = sizes["states"], sizes["steps"], sizes["symbols"]
+        memory = {
+            "init": rng.integers(0, 32, s),
+            "trans": rng.integers(1, 64, s * s),
+            "emit": rng.integers(0, 32, s * m),
+            "obs": rng.integers(0, m, t),
+            "cost": np.zeros(s, dtype=np.int64),
+            "cost_next": np.zeros(s, dtype=np.int64),
+            "out": np.zeros(s, dtype=np.int64),
+        }
+        return memory, {}
+
+    def reference(self, sizes, memory, params) -> Dict[str, np.ndarray]:
+        s, t, m = sizes["states"], sizes["steps"], sizes["symbols"]
+        trans = np.asarray(memory["trans"]).reshape(s, s)
+        emit = np.asarray(memory["emit"]).reshape(s, m)
+        obs = np.asarray(memory["obs"])
+        cost = np.asarray(memory["init"]).copy()
+        for step in range(1, t):
+            cost = (cost[:, None] + trans).min(axis=0) + emit[:, obs[step]]
+        return {"out": cost}

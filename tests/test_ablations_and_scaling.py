@@ -1,0 +1,57 @@
+"""Ablation experiments + model behaviour across array sizes."""
+
+import pytest
+
+from repro.arch.params import DEFAULT_PARAMS
+from repro.baselines import MarionetteModel, VonNeumannModel
+from repro.baselines.base import KernelInstance
+from repro.experiments import ablations
+from repro.workloads import get_workload
+
+
+class TestAblationExperiments:
+    def test_array_size_sweep_shapes(self):
+        result = ablations.array_size_sweep("tiny", sizes=(2, 4))
+        assert len(result.rows) == 2
+        assert all(r["speedup"] > 1.0 for r in result.rows)
+
+    def test_mesh_latency_sweep_monotonic(self):
+        result = ablations.mesh_latency_sweep("tiny", latencies=(2, 6, 10))
+        gains = [r["cn_speedup_geomean"] for r in result.rows]
+        assert gains == sorted(gains)
+
+    def test_fifo_depth_sweep_correct_at_depth_one(self):
+        result = ablations.fifo_depth_sweep(depths=(1, 4))
+        assert all(r["correct"] for r in result.rows)
+
+    def test_run_all(self):
+        results = ablations.run("tiny")
+        assert len(results) == 3
+
+
+class TestScaling:
+    @pytest.mark.parametrize("size", [2, 4, 8])
+    def test_models_work_at_any_array_size(self, size):
+        params = DEFAULT_PARAMS.scaled(size, size)
+        instance = get_workload("gemm").instance("tiny")
+        kernel = KernelInstance(instance.cdfg, instance.run().trace)
+        von_neumann = VonNeumannModel(params).simulate(kernel)
+        marionette = MarionetteModel(params).simulate(kernel)
+        assert von_neumann.cycles >= marionette.cycles
+        assert marionette.n_pes == size * size
+
+    def test_more_pes_never_slower_for_marionette(self):
+        instance = get_workload("gemm").instance("tiny")
+        kernel = KernelInstance(instance.cdfg, instance.run().trace)
+        cycles = []
+        for size in (2, 4, 8):
+            params = DEFAULT_PARAMS.scaled(size, size)
+            cycles.append(MarionetteModel(params).simulate(kernel).cycles)
+        assert cycles[0] >= cycles[1] >= cycles[2]
+
+    def test_rectangular_array(self):
+        params = DEFAULT_PARAMS.scaled(2, 8)
+        instance = get_workload("si").instance("tiny")
+        kernel = KernelInstance(instance.cdfg, instance.run().trace)
+        result = MarionetteModel(params).simulate(kernel)
+        assert result.cycles > 0

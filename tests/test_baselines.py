@@ -1,0 +1,252 @@
+"""Execution-model tests: mechanisms, invariants, and paper-shape checks.
+
+The per-mechanism tests pin the behaviours the architecture comparison is
+built from; the invariant tests sweep every model over every workload.
+"""
+
+import math
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.baselines import (
+    DataflowModel,
+    IdealModel,
+    MarionetteModel,
+    RevelModel,
+    RipTideModel,
+    SoftbrainModel,
+    TIAModel,
+    VonNeumannModel,
+)
+from repro.baselines.base import KernelInstance
+from repro.workloads import ALL_WORKLOADS, INTENSIVE_WORKLOADS, get_workload
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    out = {}
+    for workload in ALL_WORKLOADS:
+        instance = workload.instance("tiny")
+        result = instance.run()
+        out[workload.short] = KernelInstance(instance.cdfg, result.trace)
+    return out
+
+
+@pytest.fixture(scope="module")
+def all_models():
+    params = ArchParams()
+    return {
+        "vN": VonNeumannModel(params),
+        "df": DataflowModel(params),
+        "mPE": MarionetteModel(params, control_network=False, agile=False),
+        "full": MarionetteModel(params),
+        "SB": SoftbrainModel(params),
+        "TIA": TIAModel(params),
+        "REV": RevelModel(params),
+        "RIP": RipTideModel(params),
+        "ideal": IdealModel(params),
+    }
+
+
+class TestMechanisms:
+    def test_recurrence_detected_for_crc_like(self, kernels):
+        crc = kernels["CRC"]
+        inner = [n for n in crc.nests.values() if not n.children][0]
+        assert crc.recurrence_of(inner) > 0
+
+    def test_crc_byte_loop_threads_through_bit_loop(self, kernels):
+        crc = kernels["CRC"]
+        outer = [n for n in crc.nests.values() if n.children][0]
+        assert crc.threaded_recurrence(outer) > 0
+
+    def test_gemm_accumulator_is_free(self, kernels):
+        gemm = kernels["GEMM"]
+        inner = [n for n in gemm.nests.values() if not n.children][0]
+        assert gemm.recurrence_of(inner) == 0
+        for nest in gemm.nests.values():
+            if nest.children:
+                assert gemm.threaded_recurrence(nest) == 0
+
+    def test_fft_stage_counters_are_generators(self, kernels):
+        fft = kernels["FFT"]
+        for nest in fft.nests.values():
+            if nest.children:
+                assert fft.threaded_recurrence(nest) == 0
+
+    def test_viterbi_min_recurrence_colocates(self, kernels):
+        vi = kernels["VI"]
+        params = ArchParams()
+        model = MarionetteModel(params)
+        inner = [
+            n for n in vi.nests.values()
+            if not n.children and vi.recurrence_of(n) > 0
+        ]
+        assert inner, "viterbi should have a carried min"
+        # chain == t_execute -> colocated: II equals the chain, untaxed.
+        assert model.recurrence_ii(vi, inner[0]) == params.t_execute
+
+    def test_ldpc_sibling_loops_are_serial(self, kernels):
+        ldpc = kernels["LDPC"]
+        siblings = [
+            n for n in ldpc.nests.values()
+            if n.parent is not None and ldpc.serial_sibling(n)
+        ]
+        assert siblings, "LDPC's min pass feeds its update pass"
+
+    def test_dynamic_bounds_detected(self, kernels):
+        gemm = kernels["GEMM"]
+        assert all(
+            not gemm.dynamic_bounds(nest) for nest in gemm.nests.values()
+        )
+        ms = kernels["MS"]
+        assert any(ms.dynamic_bounds(nest) for nest in ms.nests.values())
+
+    def test_dataflow_ii_exceeds_marionette(self, kernels):
+        params = ArchParams()
+        dataflow = DataflowModel(params)
+        marionette = MarionetteModel(params)
+        gemm = kernels["GEMM"]
+        inner = [n for n in gemm.nests.values() if not n.children][0]
+        assert dataflow.body_ii(gemm, inner) > marionette.body_ii(gemm, inner)
+
+    def test_von_neumann_counts_whole_kernel(self, kernels):
+        params = ArchParams()
+        von_neumann = VonNeumannModel(params)
+        ms = kernels["MS"]
+        inner = [n for n in ms.nests.values() if not n.children][0]
+        resident_ii = math.ceil(ms.total_static_ops() / params.n_pes)
+        assert von_neumann.body_ii(ms, inner) >= resident_ii
+
+    def test_ops_merged_vs_full(self, kernels):
+        branchy = kernels["MS"]
+        inner = [
+            n for n in branchy.nests.values()
+            if not n.children and any(
+                branchy.cdfg.block(b).role.value == "branch_arm"
+                for b in n.own_blocks(branchy.nests)
+            )
+        ]
+        assert inner
+        blocks = inner[0].own_blocks(branchy.nests)
+        merged = branchy.ops_of_blocks(blocks, merge_arms=True)
+        full = branchy.ops_of_blocks(blocks, merge_arms=False)
+        assert merged < full
+
+
+class TestInvariants:
+    def test_ideal_is_a_lower_bound(self, kernels, all_models):
+        ideal = all_models["ideal"]
+        others = {k: v for k, v in all_models.items() if k != "ideal"}
+        for short, kernel in kernels.items():
+            bound = ideal.simulate(kernel).cycles
+            for name, model in others.items():
+                cycles = model.simulate(kernel).cycles
+                assert bound <= cycles * 1.02 + 2, (short, name)
+
+    def test_every_feature_helps_or_is_neutral(self, kernels):
+        params = ArchParams()
+        base = MarionetteModel(params, control_network=False, agile=False)
+        cn = MarionetteModel(params, control_network=True, agile=False)
+        full = MarionetteModel(params)
+        for short, kernel in kernels.items():
+            b = base.simulate(kernel).cycles
+            assert cn.simulate(kernel).cycles <= b, short
+            assert full.simulate(kernel).cycles <= b, short
+
+    def test_utilization_bounded(self, kernels, all_models):
+        for kernel in kernels.values():
+            for model in all_models.values():
+                result = model.simulate(kernel)
+                assert 0.0 <= result.utilization <= 1.0
+
+    def test_cycles_positive_and_breakdowns_cover_loops(
+        self, kernels, all_models
+    ):
+        for short, kernel in kernels.items():
+            expected_loops = len(kernel.nests)
+            for model in all_models.values():
+                result = model.simulate(kernel)
+                assert result.cycles >= 1
+                assert len(result.breakdowns) == expected_loops
+
+    def test_busy_cycles_equal_dynamic_work(self, kernels, all_models):
+        params = ArchParams()
+        for kernel in kernels.values():
+            expected = (
+                kernel.trace.dynamic_op_count(kernel.cdfg)
+                * params.t_execute
+            )
+            for model in all_models.values():
+                assert model.simulate(kernel).busy_pe_cycles == expected
+
+    def test_deterministic(self, kernels, all_models):
+        kernel = kernels["GEMM"]
+        for model in all_models.values():
+            assert (
+                model.simulate(kernel).cycles
+                == model.simulate(kernel).cycles
+            )
+
+
+class TestPaperShapes:
+    """Coarse ordering claims that must hold at any scale."""
+
+    def test_marionette_beats_von_neumann_and_dataflow_geomean(self, kernels):
+        params = ArchParams()
+        marionette = MarionetteModel(
+            params, control_network=False, agile=False
+        )
+        von_neumann = VonNeumannModel(params)
+        dataflow = DataflowModel(params)
+        ratios_vn, ratios_df = [], []
+        for workload in INTENSIVE_WORKLOADS:
+            kernel = kernels[workload.short]
+            m = marionette.simulate(kernel).cycles
+            ratios_vn.append(von_neumann.simulate(kernel).cycles / m)
+            ratios_df.append(dataflow.simulate(kernel).cycles / m)
+        geo = lambda xs: math.exp(sum(map(math.log, xs)) / len(xs))
+        assert geo(ratios_vn) > 1.05
+        assert geo(ratios_df) > 1.1
+
+    def test_full_marionette_beats_rivals_geomean(self, kernels, all_models):
+        full = all_models["full"]
+        geo = lambda xs: math.exp(sum(map(math.log, xs)) / len(xs))
+        for rival in ("SB", "TIA", "REV", "RIP"):
+            ratios = [
+                all_models[rival].simulate(kernels[w.short]).cycles
+                / full.simulate(kernels[w.short]).cycles
+                for w in INTENSIVE_WORKLOADS
+            ]
+            assert geo(ratios) > 1.1, rival
+
+    def test_revel_is_the_closest_rival(self, kernels, all_models):
+        full = all_models["full"]
+        geo = lambda xs: math.exp(sum(map(math.log, xs)) / len(xs))
+        gaps = {}
+        for rival in ("SB", "TIA", "REV", "RIP"):
+            gaps[rival] = geo([
+                all_models[rival].simulate(kernels[w.short]).cycles
+                / full.simulate(kernels[w.short]).cycles
+                for w in INTENSIVE_WORKLOADS
+            ])
+        assert gaps["REV"] == min(gaps.values())
+
+    def test_non_intensive_parity(self, kernels, all_models):
+        full = all_models["full"]
+        for short in ("CO", "SI", "GP"):
+            kernel = kernels[short]
+            m = full.simulate(kernel).cycles
+            for rival in ("SB", "REV", "RIP", "vN"):
+                r = all_models[rival].simulate(kernel).cycles
+                assert 0.6 <= r / m <= 2.5, (short, rival)
+
+    def test_tia_slowest_on_streaming(self, kernels, all_models):
+        for short in ("CO", "SI", "GP"):
+            kernel = kernels[short]
+            tia = all_models["TIA"].simulate(kernel).cycles
+            others = [
+                all_models[r].simulate(kernel).cycles
+                for r in ("SB", "REV", "RIP", "full")
+            ]
+            assert tia > max(others)

@@ -1,0 +1,105 @@
+"""CDFG structural analyses: forward regions, under-branch sets,
+imperfect-loop detection on crafted graph shapes."""
+
+import pytest
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.cfg import BlockRole
+
+
+def names_of(cdfg, ids):
+    return {cdfg.block(b).name for b in ids}
+
+
+class TestUnderBranch:
+    def test_nested_branch_regions_union(self):
+        k = KernelBuilder("nested")
+        n = k.param("n")
+        k.array("o")
+        with k.loop("i", 0, n) as i:
+            with k.branch(i < 4) as outer:
+                with k.branch(i < 2) as inner:
+                    k.set("v", 1)
+                with inner.orelse():
+                    k.set("v", 2)
+            with outer.orelse():
+                k.set("v", 3)
+            k.store("o", i, k.get("v"))
+        cdfg = k.build()
+        under = names_of(cdfg, cdfg.under_branch_blocks())
+        # Both levels of arms are under a branch.
+        assert any("br1_then" in name for name in under)
+        assert any("br2_then" in name for name in under)
+        # The loop header is not.
+        assert not any("head" in name for name in under)
+
+    def test_loop_inside_branch_is_under_it(self):
+        k = KernelBuilder("loop_in_branch")
+        n = k.param("n")
+        k.array("o")
+        with k.loop("i", 0, n) as i:
+            with k.branch(i < 3):
+                with k.loop("t", 0, 4) as t:
+                    k.store("o", t, t)
+        cdfg = k.build()
+        under = names_of(cdfg, cdfg.under_branch_blocks())
+        assert any("loop_t" in name for name in under)
+
+    def test_merge_point_not_under_branch(self, branchy_kernel):
+        under = names_of(branchy_kernel,
+                         branchy_kernel.under_branch_blocks())
+        assert not any("merge" in name for name in under)
+
+
+class TestImperfectDetection:
+    def test_perfect_nest_not_imperfect(self):
+        k = KernelBuilder("perfect")
+        n = k.param("n")
+        k.array("o")
+        with k.loop("i", 0, n) as i:
+            with k.loop("j", 0, n) as j:
+                k.store("o", i * n + j, i + j)
+        cdfg = k.build()
+        # The outer level carries only the `i * n` style address math, but
+        # that lives in the inner body here; nothing but control at level 1.
+        assert cdfg.max_loop_depth() == 2
+
+    def test_computation_in_outer_body_is_imperfect(self):
+        k = KernelBuilder("imperfect")
+        n = k.param("n")
+        k.array("o")
+        with k.loop("i", 0, n) as i:
+            k.set("row", i * n + 1)
+            with k.loop("j", 0, n) as j:
+                k.store("o", j, k.get("row"))
+        cdfg = k.build()
+        assert cdfg.is_imperfect()
+
+    def test_single_loop_never_imperfect(self, saxpy_kernel):
+        assert not saxpy_kernel.is_imperfect()
+
+
+class TestSummaries:
+    def test_summary_string(self, imperfect_kernel):
+        text = imperfect_kernel.summary()
+        assert "spmv" in text
+        assert "2 loops" in text
+        assert "imperfect=True" in text
+
+    def test_total_op_count(self, saxpy_kernel):
+        assert saxpy_kernel.total_op_count == sum(
+            b.op_count for b in saxpy_kernel.blocks
+        )
+
+    def test_validate_catches_undeclared_array(self):
+        from repro.errors import IRError
+        from repro.ir.cdfg import CDFG
+
+        k = KernelBuilder("bad")
+        k.array("a")
+        k.store("a", 0, 1)
+        good = k.build()
+        # Rebuild a CDFG claiming no arrays: validation must fail.
+        bad = CDFG("bad2", good.cfg, params=(), arrays=())
+        with pytest.raises(IRError):
+            bad.validate()

@@ -1,0 +1,35 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_workloads_command(self, capsys):
+        assert main(["workloads", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "GEMM" in out and "verified" in out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "gemm", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Marionette" in out and "cycles" in out
+
+    def test_experiment_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_experiment_fig12_tiny(self, capsys):
+        assert main(["experiment", "fig12", "--scale", "tiny"]) == 0
+        assert "Figure 12" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_kernel_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["simulate", "nonexistent"])

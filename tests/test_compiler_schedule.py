@@ -1,0 +1,132 @@
+"""Agile PE Assignment scheduler + configuration generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilationError
+from repro.arch.params import ArchParams
+from repro.compiler.config_gen import generate_program
+from repro.compiler.schedule import MarionetteScheduler
+from repro.ir.builder import KernelBuilder
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+
+class TestScheduler:
+    def test_all_op_blocks_placed(self, params):
+        scheduler = MarionetteScheduler(params)
+        for workload in ALL_WORKLOADS:
+            instance = workload.instance("tiny")
+            schedule = scheduler.schedule(instance.cdfg)
+            for block in instance.cdfg.blocks:
+                if block.op_count == 0:
+                    continue
+                placement = schedule.placement_of(block.block_id)
+                assert placement is not None, (
+                    f"{workload.name}: block {block.name} unplaced"
+                )
+                assert placement.ii >= 1
+
+    def test_levels_ordered_innermost_first(self, params, imperfect_kernel):
+        schedule = MarionetteScheduler(params).schedule(imperfect_kernel)
+        depths = [lvl.depth for lvl in schedule.levels]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_deepest_level_wins_resolution(self, params, imperfect_kernel):
+        schedule = MarionetteScheduler(params).schedule(imperfect_kernel)
+        inner = imperfect_kernel.innermost_loops()[0]
+        nests = imperfect_kernel.loop_nests()
+        for bid in inner.own_blocks(nests):
+            block = imperfect_kernel.block(bid)
+            if block.op_count == 0:
+                continue
+            placement = schedule.placement_of(bid)
+            deepest = schedule.levels[0].placements.get(bid)
+            assert placement is deepest
+
+    def test_agile_fills_spare_pes(self, params, saxpy_kernel):
+        agile = MarionetteScheduler(params).schedule(saxpy_kernel)
+        plain = MarionetteScheduler(
+            params, enable_agile=False
+        ).schedule(saxpy_kernel)
+        agile_unrolls = [p.unroll for p in agile.all_placements()]
+        plain_unrolls = [p.unroll for p in plain.all_placements()]
+        assert max(agile_unrolls) >= max(plain_unrolls)
+
+    def test_same_level_block_never_folded_over_itself(self, params):
+        """Regression: a level's own block must keep its spatial mapping
+        (the Gray Processing II=3 anomaly)."""
+        gp = get_workload("gp").instance("tiny")
+        schedule = MarionetteScheduler(params).schedule(gp.cdfg)
+        for block in gp.cdfg.blocks:
+            if block.op_count == 0:
+                continue
+            placement = schedule.placement_of(block.block_id)
+            assert not placement.time_extended
+
+    def test_branch_arms_share_lane(self, params, branchy_kernel):
+        schedule = MarionetteScheduler(params).schedule(branchy_kernel)
+        arms = [
+            b.block_id for b in branchy_kernel.blocks
+            if "then" in b.name or "else" in b.name
+        ]
+        placements = [schedule.placement_of(a) for a in arms]
+        placements = [p for p in placements if p and p.op_count]
+        if len(placements) == 2:
+            lanes = [set(p.pes) for p in placements]
+            assert lanes[1] <= lanes[0] or lanes[0] <= lanes[1]
+
+    def test_waste_non_negative_metadata(self, params, imperfect_kernel):
+        schedule = MarionetteScheduler(params).schedule(imperfect_kernel)
+        for level in schedule.levels:
+            assert isinstance(level.waste, int)
+
+
+class TestConfigGen:
+    def test_param_bound_into_immediates(self, params, saxpy_kernel):
+        program = generate_program(
+            saxpy_kernel, params, param_values={"n": 16},
+            array_lengths={"x": 16, "y": 16},
+        )
+        assert program.total_entries() >= saxpy_kernel.total_op_count
+
+    def test_missing_array_length(self, params, saxpy_kernel):
+        with pytest.raises(CompilationError, match="missing length"):
+            generate_program(saxpy_kernel, params, param_values={"n": 4})
+
+    def test_multi_loop_kernel_rejected(self, params, imperfect_kernel):
+        with pytest.raises(CompilationError, match="exactly one loop"):
+            generate_program(
+                imperfect_kernel, params, param_values={"n": 4},
+                array_lengths={"rd": 8, "val": 8, "out": 8},
+            )
+
+    def test_branchy_kernel_rejected(self, params, branchy_kernel):
+        with pytest.raises(CompilationError):
+            generate_program(
+                branchy_kernel, params, param_values={"n": 4},
+                array_lengths={"a": 4, "b": 4, "o": 4},
+            )
+
+    def test_too_many_ops_rejected(self, params):
+        k = KernelBuilder("wide")
+        n = k.param("n")
+        k.array("x")
+        k.array("o")
+        with k.loop("i", 0, n) as i:
+            value = k.load("x", i)
+            for _ in range(20):
+                value = value * 3 + 1
+            k.store("o", i, value)
+        with pytest.raises(CompilationError, match="exceed"):
+            generate_program(
+                k.build(), params, param_values={"n": 4},
+                array_lengths={"x": 4, "o": 4},
+            )
+
+    def test_program_validates(self, params, saxpy_kernel):
+        program = generate_program(
+            saxpy_kernel, params, param_values={"n": 8},
+            array_lengths={"x": 8, "y": 8},
+        )
+        program.validate()
+        assert 0 in program.initial_addrs  # the loop operator PE

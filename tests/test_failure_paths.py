@@ -1,0 +1,111 @@
+"""Failure injection and error-path tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SimulationError
+from repro.arch.params import ArchParams
+from repro.compiler.config_gen import generate_program
+from repro.ir.builder import KernelBuilder
+from repro.sim.array import ArraySimulator
+from repro.workloads import get_workload
+
+
+def _tiny_program(params):
+    k = KernelBuilder("tiny")
+    n = k.param("n")
+    k.array("x")
+    k.array("o")
+    with k.loop("i", 0, n) as i:
+        k.store("o", i, k.load("x", i) + 1)
+    return generate_program(
+        k.build(), params, param_values={"n": 4},
+        array_lengths={"x": 4, "o": 4},
+    )
+
+
+class TestArraySimulatorErrors:
+    def test_unknown_array_load(self, params):
+        program = _tiny_program(params)
+        sim = ArraySimulator(params, program)
+        with pytest.raises(SimulationError, match="not in program table"):
+            sim.load_array("nonexistent", [1, 2, 3])
+
+    def test_oversized_array_image(self, params):
+        program = _tiny_program(params)
+        sim = ArraySimulator(params, program)
+        with pytest.raises(SimulationError, match="exceed"):
+            sim.load_array("x", list(range(99)))
+
+    def test_array_out_unknown_name(self, params):
+        program = _tiny_program(params)
+        sim = ArraySimulator(params, program)
+        sim.load_array("x", [1, 2, 3, 4])
+        result = sim.run(halt_messages=999)
+        with pytest.raises(SimulationError):
+            result.array_out(program, "nope")
+
+    def test_max_cycles_cutoff(self, params):
+        program = _tiny_program(params)
+        sim = ArraySimulator(params, program)
+        sim.load_array("x", [1, 2, 3, 4])
+        result = sim.run(max_cycles=3, halt_messages=1)
+        assert result.cycles == 3
+        assert not result.halted
+
+    def test_quiescence_without_halt_message(self, params):
+        program = _tiny_program(params)
+        sim = ArraySimulator(params, program)
+        sim.load_array("x", [5, 6, 7, 8])
+        result = sim.run(halt_messages=999)  # never reached
+        assert not result.halted              # quiesced instead
+        assert list(result.array_out(program, "o")) == [6, 7, 8, 9]
+
+    def test_small_control_fifo_still_correct(self):
+        params = ArchParams(control_fifo_depth=1)
+        program = _tiny_program(params)
+        sim = ArraySimulator(params, program)
+        sim.load_array("x", [1, 2, 3, 4])
+        result = sim.run(halt_messages=999)
+        assert list(result.array_out(program, "o")) == [2, 3, 4, 5]
+
+
+class TestWorkloadCheckCatchesCorruption:
+    def test_corrupted_expected_output_detected(self):
+        instance = get_workload("gray").instance("tiny")
+        instance.expected["gray"] = instance.expected["gray"] + 1
+        with pytest.raises(ReproError, match="mismatches reference"):
+            instance.check()
+
+    def test_corrupted_float_output_detected(self):
+        instance = get_workload("sigmoid").instance("tiny")
+        instance.expected["y"] = instance.expected["y"] * 1.5
+        with pytest.raises(ReproError, match="mismatches reference"):
+            instance.check()
+
+
+class TestModelEdgeCases:
+    def test_empty_kernel_models_do_not_crash(self):
+        from repro.baselines import MarionetteModel
+        from repro.baselines.base import KernelInstance
+        from repro.ir.interp import Interpreter
+
+        k = KernelBuilder("empty")
+        cdfg = k.build()
+        result = Interpreter(cdfg).run({}, {})
+        kernel = KernelInstance(cdfg, result.trace)
+        model_result = MarionetteModel(ArchParams()).simulate(kernel)
+        assert model_result.cycles >= 1
+        assert model_result.breakdowns == []
+
+    def test_speedup_over(self):
+        from repro.baselines import IdealModel, VonNeumannModel
+        from repro.baselines.base import KernelInstance
+
+        instance = get_workload("gemm").instance("tiny")
+        kernel = KernelInstance(instance.cdfg, instance.run().trace)
+        params = ArchParams()
+        fast = IdealModel(params).simulate(kernel)
+        slow = VonNeumannModel(params).simulate(kernel)
+        assert fast.speedup_over(slow) >= 1.0
+        assert slow.speedup_over(fast) <= 1.0

@@ -1,0 +1,127 @@
+"""Tests for CDFG analyses: profiles, loop dynamics, branch metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ir import analysis
+from repro.ir.interp import Interpreter
+from repro.workloads import get_workload
+
+
+def _run(cdfg, memory, params):
+    return Interpreter(cdfg).run(memory, params)
+
+
+class TestLoopNest:
+    def test_imperfect_detection(self, imperfect_kernel, saxpy_kernel):
+        assert imperfect_kernel.is_imperfect()
+        assert not saxpy_kernel.is_imperfect()
+
+    def test_nest_depths(self, imperfect_kernel):
+        assert imperfect_kernel.max_loop_depth() == 2
+        inner = imperfect_kernel.innermost_loops()
+        assert len(inner) == 1
+        assert inner[0].depth == 2
+
+    def test_loop_of_block(self, imperfect_kernel):
+        nests = imperfect_kernel.loop_nests()
+        inner = imperfect_kernel.innermost_loops()[0]
+        for bid in inner.own_blocks(nests):
+            found = imperfect_kernel.loop_of_block(bid)
+            assert found is not None and found.header == inner.header
+
+    def test_levels_inner_to_outer(self, imperfect_kernel):
+        levels = imperfect_kernel.levels_inner_to_outer()
+        assert [lvl[0].depth for lvl in levels] == [2, 1]
+
+
+class TestBranchStructure:
+    def test_branch_blocks(self, branchy_kernel, saxpy_kernel):
+        assert len(branchy_kernel.branch_blocks()) == 1
+        assert saxpy_kernel.branch_blocks() == []
+
+    def test_under_branch_blocks_are_the_arms(self, branchy_kernel):
+        under = branchy_kernel.under_branch_blocks()
+        names = {branchy_kernel.block(b).name for b in under}
+        assert any("then" in n for n in names)
+        assert any("else" in n for n in names)
+
+    def test_branch_nesting_depth(self):
+        ms = get_workload("ms").instance("tiny")
+        assert analysis.branch_nesting_depth(ms.cdfg) >= 1
+        adpcm = get_workload("adpcm").instance("tiny")
+        assert analysis.branch_nesting_depth(adpcm.cdfg) >= 1
+
+
+class TestLoopDynamics:
+    def test_entries_and_iterations(self, imperfect_kernel, spmv_inputs):
+        memory, params, _ = spmv_inputs
+        result = _run(imperfect_kernel, memory, params)
+        dynamics = analysis.loop_dynamics(imperfect_kernel, result.trace)
+        by_depth = {d.depth: d for d in dynamics.values()}
+        outer = by_depth[1]
+        inner = by_depth[2]
+        assert outer.entries == 1
+        assert outer.total_iterations == 4       # four rows
+        assert inner.entries == 4                # entered once per row
+        assert inner.total_iterations == 9       # nnz
+        assert inner.mean_trip_count == pytest.approx(9 / 4)
+
+    def test_zero_entry_loop(self):
+        from repro.ir.builder import KernelBuilder
+
+        k = KernelBuilder("dead_loop")
+        n = k.param("n")
+        k.array("o")
+        with k.branch(k.const(0).eq(1)):
+            with k.loop("i", 0, n) as i:
+                k.store("o", i, i)
+        cdfg = k.build()
+        result = _run(cdfg, {"o": np.zeros(4)}, {"n": 4})
+        dynamics = analysis.loop_dynamics(cdfg, result.trace)
+        assert all(d.entries == 0 for d in dynamics.values())
+        assert all(d.mean_trip_count == 0.0 for d in dynamics.values())
+
+
+class TestProfile:
+    def test_ops_under_branch_fraction(self, branchy_kernel):
+        result = _run(
+            branchy_kernel,
+            {"a": np.arange(8), "b": np.arange(8)[::-1].copy(),
+             "o": np.zeros(8)},
+            {"n": 8},
+        )
+        fraction = analysis.ops_under_branch_fraction(
+            branchy_kernel, result.trace
+        )
+        assert 0.0 < fraction < 1.0
+
+    def test_profile_fields(self, imperfect_kernel, spmv_inputs):
+        memory, params, _ = spmv_inputs
+        result = _run(imperfect_kernel, memory, params)
+        profile = analysis.profile(imperfect_kernel, result.trace)
+        assert profile.kernel == "spmv"
+        assert profile.imperfect
+        assert profile.max_loop_depth == 2
+        assert profile.dynamic_ops == result.trace.dynamic_op_count(
+            imperfect_kernel
+        )
+
+    def test_table1_rows_match_paper_forms(self):
+        expectations = {
+            "ms": ("branches", "Imperfect nested"),
+            "gemm": ("N/A", "Imperfect nested"),
+            "adpcm": ("branches", "Single loop"),
+        }
+        for name, (branch_part, loop_part) in expectations.items():
+            instance = get_workload(name).instance("tiny")
+            result = instance.run()
+            profile = analysis.profile(instance.cdfg, result.trace)
+            row = profile.table1_row()
+            assert branch_part.lower() in row["intensive_branch"].lower() \
+                or branch_part == "N/A" and row["intensive_branch"] == "N/A"
+            assert loop_part.lower() in row["intensive_loop"].lower()
+
+    def test_serial_loops_counted(self):
+        scd = get_workload("scd").instance("tiny")
+        assert analysis.serial_loop_count(scd.cdfg) >= 2

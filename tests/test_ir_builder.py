@@ -1,0 +1,248 @@
+"""Unit tests for the KernelBuilder DSL."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BuilderError
+from repro.ir.builder import KernelBuilder, Value
+from repro.ir.cfg import BlockRole, Branch, Halt
+from repro.ir.interp import Interpreter
+
+
+def run(cdfg, memory, params=None):
+    return Interpreter(cdfg).run(memory, params or {})
+
+
+class TestBasics:
+    def test_empty_kernel(self):
+        k = KernelBuilder("empty")
+        cdfg = k.build()
+        assert len(cdfg.blocks) == 1
+        assert isinstance(cdfg.blocks[0].terminator, Halt)
+
+    def test_build_twice_raises(self):
+        k = KernelBuilder("k")
+        k.build()
+        with pytest.raises(BuilderError):
+            k.build()
+
+    def test_emit_after_build_raises(self):
+        k = KernelBuilder("k")
+        k.build()
+        with pytest.raises(BuilderError):
+            k.const(1)
+
+    def test_param_declared_twice(self):
+        k = KernelBuilder("k")
+        k.param("n")
+        with pytest.raises(BuilderError):
+            k.param("n")
+
+    def test_undeclared_array_raises(self):
+        k = KernelBuilder("k")
+        with pytest.raises(BuilderError):
+            k.load("missing", 0)
+
+    def test_foreign_value_rejected(self):
+        k1 = KernelBuilder("a")
+        k2 = KernelBuilder("b")
+        v = k1.const(1)
+        with pytest.raises(BuilderError):
+            k2.set("x", v)
+
+
+class TestOperators:
+    def test_arithmetic_operators(self):
+        k = KernelBuilder("k")
+        k.array("o")
+        a = k.const(10)
+        b = k.const(3)
+        k.store("o", 0, a + b)
+        k.store("o", 1, a - b)
+        k.store("o", 2, a * b)
+        k.store("o", 3, a / b)
+        k.store("o", 4, a % b)
+        k.store("o", 5, -a)
+        k.store("o", 6, a & b)
+        k.store("o", 7, a | b)
+        k.store("o", 8, a ^ b)
+        k.store("o", 9, a << b)
+        k.store("o", 10, a >> b)
+        result = run(k.build(), {"o": np.zeros(11, dtype=np.int64)})
+        assert list(result.array("o")) == [
+            13, 7, 30, 3, 1, -10, 2, 11, 9, 80, 1
+        ]
+
+    def test_reflected_operators(self):
+        k = KernelBuilder("k")
+        k.array("o")
+        a = k.const(5)
+        k.store("o", 0, 1 + a)
+        k.store("o", 1, 10 - a)
+        k.store("o", 2, 2 * a)
+        k.store("o", 3, 20 / a)
+        result = run(k.build(), {"o": np.zeros(4, dtype=np.int64)})
+        assert list(result.array("o")) == [6, 5, 10, 4]
+
+    def test_comparisons_and_select(self):
+        k = KernelBuilder("k")
+        k.array("o")
+        a = k.const(2)
+        b = k.const(5)
+        k.store("o", 0, a < b)
+        k.store("o", 1, a.eq(b))
+        k.store("o", 2, a.ne(b))
+        k.store("o", 3, k.select(a < b, 100, 200))
+        result = run(k.build(), {"o": np.zeros(4, dtype=np.int64)})
+        assert list(result.array("o")) == [1, 0, 1, 100]
+
+    def test_math_helpers(self):
+        k = KernelBuilder("k")
+        k.array("o")
+        k.store("o", 0, k.minimum(3, 8))
+        k.store("o", 1, k.maximum(3, 8))
+        k.store("o", 2, k.absolute(-4))
+        result = run(k.build(), {"o": np.zeros(3, dtype=np.int64)})
+        assert list(result.array("o")) == [3, 8, 4]
+
+
+class TestControlFlow:
+    def test_counted_loop_trip_count(self):
+        k = KernelBuilder("k")
+        k.array("o")
+        k.set("acc", 0)
+        with k.loop("i", 0, 10):
+            k.set("acc", k.get("acc") + 1)
+        k.store("o", 0, k.get("acc"))
+        result = run(k.build(), {"o": np.zeros(1, dtype=np.int64)})
+        assert result.array("o")[0] == 10
+
+    def test_loop_with_step(self):
+        k = KernelBuilder("k")
+        k.array("o")
+        k.set("acc", 0)
+        with k.loop("i", 0, 10, step=3) as i:
+            k.set("acc", k.get("acc") + i)
+        k.store("o", 0, k.get("acc"))
+        result = run(k.build(), {"o": np.zeros(1, dtype=np.int64)})
+        assert result.array("o")[0] == 0 + 3 + 6 + 9
+
+    def test_zero_trip_loop(self):
+        k = KernelBuilder("k")
+        k.array("o")
+        k.set("acc", 42)
+        with k.loop("i", 5, 5):
+            k.set("acc", 0)
+        k.store("o", 0, k.get("acc"))
+        result = run(k.build(), {"o": np.zeros(1, dtype=np.int64)})
+        assert result.array("o")[0] == 42
+
+    def test_nonpositive_step_rejected(self):
+        k = KernelBuilder("k")
+        with pytest.raises(BuilderError):
+            with k.loop("i", 0, 10, step=0):
+                pass
+
+    def test_while_loop(self):
+        k = KernelBuilder("k")
+        k.array("o")
+        k.set("x", 1)
+        with k.while_(lambda: k.get("x") < 100):
+            k.set("x", k.get("x") * 2)
+        k.store("o", 0, k.get("x"))
+        result = run(k.build(), {"o": np.zeros(1, dtype=np.int64)})
+        assert result.array("o")[0] == 128
+
+    def test_branch_both_arms(self):
+        k = KernelBuilder("k")
+        n = k.param("n")
+        k.array("o")
+        with k.loop("i", 0, n) as i:
+            with k.branch((i % 2).eq(0)) as br:
+                k.set("v", i * 10)
+            with br.orelse():
+                k.set("v", i)
+            k.store("o", i, k.get("v"))
+        result = run(k.build(), {"o": np.zeros(6, dtype=np.int64)}, {"n": 6})
+        assert list(result.array("o")) == [0, 1, 20, 3, 40, 5]
+
+    def test_branch_without_orelse(self):
+        k = KernelBuilder("k")
+        n = k.param("n")
+        k.array("o")
+        with k.loop("i", 0, n) as i:
+            k.set("v", 0)
+            with k.branch(i > 2):
+                k.set("v", 1)
+            k.store("o", i, k.get("v"))
+        result = run(k.build(), {"o": np.zeros(5, dtype=np.int64)}, {"n": 5})
+        assert list(result.array("o")) == [0, 0, 0, 1, 1]
+
+    def test_orelse_before_then_completes_raises(self):
+        k = KernelBuilder("k")
+        br = k.branch(k.const(1))
+        with pytest.raises(BuilderError):
+            with br.orelse():
+                pass
+
+    def test_nested_branches(self):
+        k = KernelBuilder("k")
+        n = k.param("n")
+        k.array("o")
+        with k.loop("i", 0, n) as i:
+            with k.branch(i < 2) as outer:
+                with k.branch(i < 1) as inner:
+                    k.set("v", 100)
+                with inner.orelse():
+                    k.set("v", 200)
+            with outer.orelse():
+                k.set("v", 300)
+            k.store("o", i, k.get("v"))
+        result = run(k.build(), {"o": np.zeros(4, dtype=np.int64)}, {"n": 4})
+        assert list(result.array("o")) == [100, 200, 300, 300]
+
+    def test_cross_block_value_spills(self):
+        k = KernelBuilder("k")
+        k.array("o")
+        base = k.const(7) * 3  # defined in entry block
+        with k.loop("i", 0, 3) as i:
+            k.store("o", i, base + i)  # used inside the loop body
+        result = run(k.build(), {"o": np.zeros(3, dtype=np.int64)})
+        assert list(result.array("o")) == [21, 22, 23]
+
+    def test_roles_assigned(self):
+        k = KernelBuilder("k")
+        with k.loop("i", 0, 3):
+            with k.branch(k.get("i") < 1):
+                pass
+        cdfg = k.build()
+        roles = {b.role for b in cdfg.blocks}
+        assert BlockRole.LOOP_HEADER in roles
+        assert BlockRole.BRANCH_ARM in roles
+
+    def test_loop_header_has_loop_branch(self):
+        k = KernelBuilder("k")
+        with k.loop("i", 0, 3):
+            pass
+        cdfg = k.build()
+        headers = [b for b in cdfg.blocks if b.role is BlockRole.LOOP_HEADER]
+        assert len(headers) == 1
+        assert isinstance(headers[0].terminator, Branch)
+        assert headers[0].terminator.is_loop_branch
+        assert headers[0].loop_var == "i"
+
+    def test_dynamic_loop_bounds(self):
+        k = KernelBuilder("k")
+        k.array("bounds")
+        k.array("o")
+        lo = k.load("bounds", 0)
+        hi = k.load("bounds", 1)
+        k.set("acc", 0)
+        with k.loop("j", lo, hi) as j:
+            k.set("acc", k.get("acc") + j)
+        k.store("o", 0, k.get("acc"))
+        result = run(
+            k.build(),
+            {"bounds": np.array([3, 7]), "o": np.zeros(1, dtype=np.int64)},
+        )
+        assert result.array("o")[0] == 3 + 4 + 5 + 6

@@ -1,0 +1,130 @@
+"""Unit tests for the opcode taxonomy and evaluation semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.ir.ops import (
+    COMPARE_OPCODES,
+    NONLINEAR_OPCODES,
+    OPCODE_INFO,
+    OpClass,
+    Opcode,
+    op_info,
+)
+
+
+class TestOpInfo:
+    def test_every_opcode_registered(self):
+        assert set(OPCODE_INFO) == set(Opcode)
+
+    def test_meta_ops_need_no_fu(self):
+        assert not op_info(Opcode.CONST).needs_fu
+        assert not op_info(Opcode.INPUT).needs_fu
+
+    def test_fu_ops_have_two_cycle_latency(self):
+        for opcode, info in OPCODE_INFO.items():
+            if info.needs_fu:
+                assert info.latency == 2, opcode
+
+    def test_arities(self):
+        assert op_info(Opcode.ADD).arity == 2
+        assert op_info(Opcode.NEG).arity == 1
+        assert op_info(Opcode.SELECT).arity == 3
+        assert op_info(Opcode.LOAD).arity == 1
+        assert op_info(Opcode.STORE).arity == 2
+
+    def test_compare_set(self):
+        assert Opcode.LT in COMPARE_OPCODES
+        assert Opcode.ADD not in COMPARE_OPCODES
+
+    def test_nonlinear_set(self):
+        assert Opcode.LOG in NONLINEAR_OPCODES
+        assert Opcode.SIGMOID in NONLINEAR_OPCODES
+        assert Opcode.MUL not in NONLINEAR_OPCODES
+
+    def test_memory_class(self):
+        assert op_info(Opcode.LOAD).is_memory
+        assert op_info(Opcode.STORE).is_memory
+        assert not op_info(Opcode.ADD).is_memory
+
+
+class TestEvaluation:
+    def _ev(self, opcode, *args):
+        fn = op_info(opcode).evaluate
+        assert fn is not None
+        return fn(*args)
+
+    def test_c_style_division_truncates_toward_zero(self):
+        assert self._ev(Opcode.DIV, 7, 2) == 3
+        assert self._ev(Opcode.DIV, -7, 2) == -3
+        assert self._ev(Opcode.DIV, 7, -2) == -3
+        assert self._ev(Opcode.DIV, -7, -2) == 3
+
+    def test_c_style_mod_sign_of_dividend(self):
+        assert self._ev(Opcode.MOD, 7, 3) == 1
+        assert self._ev(Opcode.MOD, -7, 3) == -1
+        assert self._ev(Opcode.MOD, 7, -3) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(IRError):
+            self._ev(Opcode.DIV, 1, 0)
+        with pytest.raises(IRError):
+            self._ev(Opcode.MOD, 1, 0)
+
+    def test_float_division(self):
+        assert self._ev(Opcode.DIV, 1.0, 4.0) == 0.25
+
+    def test_logic_wraps_to_32_bits(self):
+        assert self._ev(Opcode.NOT, 0) == 0xFFFFFFFF
+        assert self._ev(Opcode.XOR, 0xFFFFFFFF, 1) == 0xFFFFFFFE
+        assert self._ev(Opcode.AND, -1, 0xF) == 0xF
+
+    def test_shifts(self):
+        assert self._ev(Opcode.SHL, 1, 31) == 0x80000000
+        assert self._ev(Opcode.SHL, 1, 32) == 1  # shift amount masked to 5b
+        assert self._ev(Opcode.SHR, 0x80000000, 31) == 1
+
+    def test_compares_return_ints(self):
+        assert self._ev(Opcode.LT, 1, 2) == 1
+        assert self._ev(Opcode.GE, 1, 2) == 0
+        assert isinstance(self._ev(Opcode.EQ, 1.0, 1.0), int)
+
+    def test_select(self):
+        assert self._ev(Opcode.SELECT, 1, 10, 20) == 10
+        assert self._ev(Opcode.SELECT, 0, 10, 20) == 20
+
+    def test_nonlinear(self):
+        assert self._ev(Opcode.LOG, math.e) == pytest.approx(1.0)
+        assert self._ev(Opcode.SIGMOID, 0.0) == pytest.approx(0.5)
+        assert self._ev(Opcode.SQRT, 16) == pytest.approx(4.0)
+
+    def test_min_max_abs_neg(self):
+        assert self._ev(Opcode.MIN, 3, -2) == -2
+        assert self._ev(Opcode.MAX, 3, -2) == 3
+        assert self._ev(Opcode.ABS, -9) == 9
+        assert self._ev(Opcode.NEG, 4) == -4
+
+
+class TestEvaluationProperties:
+    @given(st.integers(-2**31, 2**31 - 1), st.integers(-2**31, 2**31 - 1))
+    def test_commutative_ops(self, a, b):
+        for opcode, info in OPCODE_INFO.items():
+            if not info.commutative or info.evaluate is None:
+                continue
+            if info.arity != 2:
+                continue
+            assert info.evaluate(a, b) == info.evaluate(b, a), opcode
+
+    @given(st.integers(-2**31, 2**31 - 1), st.integers(0, 63))
+    def test_shift_results_fit_32_bits(self, value, amount):
+        assert 0 <= op_info(Opcode.SHL).evaluate(value, amount) <= 0xFFFFFFFF
+        assert 0 <= op_info(Opcode.SHR).evaluate(value, amount) <= 0xFFFFFFFF
+
+    @given(st.integers(-10**6, 10**6), st.integers(1, 10**4))
+    def test_div_mod_identity(self, a, b):
+        div = op_info(Opcode.DIV).evaluate
+        mod = op_info(Opcode.MOD).evaluate
+        assert div(a, b) * b + mod(a, b) == a

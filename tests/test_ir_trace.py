@@ -1,0 +1,87 @@
+"""Unit + property tests for DynamicTrace run aggregation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.trace import DynamicTrace, Run
+
+
+class TestRecording:
+    def test_consecutive_executions_merge_into_runs(self):
+        trace = DynamicTrace("t")
+        for block in (1, 1, 1, 2, 1, 1):
+            trace.record(block)
+        trace.finish()
+        assert trace.runs == [Run(1, 3), Run(2, 1), Run(1, 2)]
+
+    def test_exec_counts(self):
+        trace = DynamicTrace("t")
+        for block in (0, 1, 0, 1, 1):
+            trace.record(block)
+        trace.finish()
+        assert trace.exec_counts == {0: 2, 1: 3}
+        assert trace.total_block_execs == 5
+
+    def test_edge_counts(self):
+        trace = DynamicTrace("t")
+        for block in (0, 1, 2, 1, 2):
+            trace.record(block)
+        trace.finish()
+        assert trace.edge_counts[(0, 1)] == 1
+        assert trace.edge_counts[(1, 2)] == 2
+        assert trace.edge_counts[(2, 1)] == 1
+
+    def test_finish_idempotent_on_empty(self):
+        trace = DynamicTrace("t")
+        trace.finish()
+        assert trace.runs == []
+        assert trace.transitions() == 0
+
+    def test_mean_run_length(self):
+        trace = DynamicTrace("t")
+        for block in (1, 1, 1, 2, 1):
+            trace.record(block)
+        trace.finish()
+        assert trace.mean_run_length(1) == pytest.approx(2.0)
+        assert trace.mean_run_length(9) == 0.0
+
+    def test_validate_consistency(self):
+        trace = DynamicTrace("t")
+        for block in (3, 3, 4):
+            trace.record(block)
+        trace.finish()
+        trace.validate()
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(0, 5), max_size=200))
+    def test_runs_always_reconstruct_sequence(self, sequence):
+        trace = DynamicTrace("fuzz")
+        for block in sequence:
+            trace.record(block)
+        trace.finish()
+        rebuilt = []
+        for run in trace.runs:
+            rebuilt.extend([run.block] * run.count)
+        assert rebuilt == sequence
+        trace.validate()
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=200))
+    def test_no_adjacent_runs_share_block(self, sequence):
+        trace = DynamicTrace("fuzz")
+        for block in sequence:
+            trace.record(block)
+        trace.finish()
+        for a, b in zip(trace.runs, trace.runs[1:]):
+            assert a.block != b.block
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=100))
+    def test_edges_equal_run_boundaries(self, sequence):
+        trace = DynamicTrace("fuzz")
+        for block in sequence:
+            trace.record(block)
+        trace.finish()
+        assert sum(trace.edge_counts.values()) == trace.transitions()

@@ -1,0 +1,229 @@
+"""ISA construction/validation tests + exhaustive encoding round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EncodingError
+from repro.ir.ops import Opcode
+from repro.isa.control import ControlDirective, NO_ADDR, SenderMode
+from repro.isa.data import DataInstruction, DataKind
+from repro.isa.encoding import (
+    decode_entry,
+    decode_program,
+    encode_entry,
+    encode_program,
+)
+from repro.isa.operands import Dest, DestKind, Operand, OperandKind
+from repro.isa.program import ArrayProgram, PEProgram, TriggerEntry
+
+
+class TestOperands:
+    def test_port_range(self):
+        Operand.port(3)
+        with pytest.raises(EncodingError):
+            Operand.port(4)
+
+    def test_reg_range(self):
+        Operand.reg(7)
+        with pytest.raises(EncodingError):
+            Operand.reg(8)
+
+    def test_imm_range(self):
+        Operand.imm(2**19 - 1)
+        Operand.imm(-2**19)
+        with pytest.raises(EncodingError):
+            Operand.imm(2**19)
+
+    def test_dest_constructors(self):
+        assert Dest.pe_port(3, 1).kind is DestKind.PE_PORT
+        assert Dest.reg(2).kind is DestKind.REG
+        assert Dest.control().kind is DestKind.CONTROL
+
+
+class TestDataInstruction:
+    def test_compute_arity_checked(self):
+        with pytest.raises(EncodingError):
+            DataInstruction.compute(Opcode.ADD, (Operand.port(0),), ())
+
+    def test_compute_rejects_memory_opcode(self):
+        with pytest.raises(EncodingError):
+            DataInstruction.compute(
+                Opcode.LOAD, (Operand.port(0),), ()
+            )
+
+    def test_loop_requires_three_bounds(self):
+        with pytest.raises(EncodingError):
+            DataInstruction(DataKind.LOOP, loop_bounds=(Operand.imm(0),))
+
+    def test_nop_takes_nothing(self):
+        with pytest.raises(EncodingError):
+            DataInstruction(DataKind.NOP, srcs=(Operand.imm(0),))
+
+    def test_port_sources(self):
+        inst = DataInstruction.compute(
+            Opcode.ADD, (Operand.port(1), Operand.imm(3)),
+            (Dest.reg(0),),
+        )
+        assert inst.port_sources == (1,)
+
+
+class TestControlDirective:
+    def test_dfg_requires_next(self):
+        with pytest.raises(EncodingError):
+            ControlDirective(SenderMode.DFG)
+
+    def test_branch_requires_both_addrs(self):
+        with pytest.raises(EncodingError):
+            ControlDirective(SenderMode.BRANCH, true_addr=1)
+
+    def test_loop_requires_exit(self):
+        with pytest.raises(EncodingError):
+            ControlDirective(SenderMode.LOOP)
+
+    def test_constructors(self):
+        d = ControlDirective.branch(1, 2, (3, 4), priority=2)
+        assert d.mode is SenderMode.BRANCH
+        assert d.priority == 2
+
+
+class TestProgram:
+    def test_duplicate_address_rejected(self):
+        program = PEProgram()
+        entry = TriggerEntry(1, DataInstruction.nop())
+        program.add(entry)
+        with pytest.raises(EncodingError):
+            program.add(entry)
+
+    def test_initial_addr_must_exist(self):
+        program = ArrayProgram(16)
+        program.set_initial(0, 5)
+        with pytest.raises(EncodingError):
+            program.validate()
+
+    def test_overlapping_arrays_rejected(self):
+        program = ArrayProgram(16)
+        program.declare_array(0, "a", 0, 10)
+        with pytest.raises(EncodingError):
+            program.declare_array(1, "b", 5, 10)
+
+    def test_target_out_of_range(self):
+        program = ArrayProgram(4)
+        pe = program.program_for(0)
+        pe.add(TriggerEntry(
+            1, DataInstruction.nop(),
+            ControlDirective.dfg(2, targets=(9,)),
+        ))
+        program.set_initial(0, 1)
+        with pytest.raises(EncodingError):
+            program.validate()
+
+    def test_undeclared_array_in_load(self):
+        program = ArrayProgram(4)
+        pe = program.program_for(0)
+        pe.add(TriggerEntry(
+            1, DataInstruction.load(3, Operand.imm(0), (Dest.reg(0),)),
+        ))
+        program.set_initial(0, 1)
+        with pytest.raises(EncodingError):
+            program.validate()
+
+
+# ----------------------------------------------------------------------
+# Encoding round trips
+# ----------------------------------------------------------------------
+_operands = st.one_of(
+    st.builds(Operand.port, st.integers(0, 3)),
+    st.builds(Operand.reg, st.integers(0, 7)),
+    st.builds(Operand.imm, st.integers(-2**19, 2**19 - 1)),
+)
+_dests = st.one_of(
+    st.builds(Dest.pe_port, st.integers(0, 255), st.integers(0, 3)),
+    st.builds(Dest.reg, st.integers(0, 7)),
+    st.just(Dest.control()),
+)
+_compute_opcodes = st.sampled_from([
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.MIN, Opcode.XOR,
+    Opcode.LT, Opcode.SELECT, Opcode.NEG, Opcode.SIGMOID,
+])
+
+
+@st.composite
+def _instructions(draw):
+    kind = draw(st.sampled_from(list(DataKind)))
+    dests = tuple(draw(st.lists(_dests, max_size=4)))
+    if kind is DataKind.COMPUTE:
+        opcode = draw(_compute_opcodes)
+        from repro.ir.ops import op_info
+
+        srcs = tuple(draw(st.lists(
+            _operands, min_size=op_info(opcode).arity,
+            max_size=op_info(opcode).arity,
+        )))
+        return DataInstruction.compute(opcode, srcs, dests)
+    if kind is DataKind.LOAD:
+        return DataInstruction.load(
+            draw(st.integers(0, 63)), draw(_operands), dests
+        )
+    if kind is DataKind.STORE:
+        return DataInstruction.store(
+            draw(st.integers(0, 63)), draw(_operands), draw(_operands)
+        )
+    if kind is DataKind.LOOP:
+        return DataInstruction.loop(
+            draw(_operands), draw(_operands), draw(_operands), dests
+        )
+    return DataInstruction.nop()
+
+
+@st.composite
+def _directives(draw):
+    mode = draw(st.sampled_from(list(SenderMode)))
+    targets = tuple(draw(st.lists(st.integers(0, 255), max_size=8)))
+    priority = draw(st.integers(0, 15))
+    if mode is SenderMode.DFG:
+        return ControlDirective.dfg(
+            draw(st.integers(0, 254)), targets, priority
+        )
+    if mode is SenderMode.BRANCH:
+        return ControlDirective.branch(
+            draw(st.integers(0, 254)), draw(st.integers(0, 254)),
+            targets, priority,
+        )
+    if mode is SenderMode.LOOP:
+        return ControlDirective.loop(
+            draw(st.integers(0, 254)), targets, priority
+        )
+    return ControlDirective.none()
+
+
+@st.composite
+def _entries(draw):
+    return TriggerEntry(
+        draw(st.integers(0, 63)), draw(_instructions()), draw(_directives())
+    )
+
+
+class TestEncoding:
+    @settings(max_examples=300, deadline=None)
+    @given(_entries())
+    def test_entry_roundtrip(self, entry):
+        assert decode_entry(encode_entry(entry)) == entry
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_entries(), min_size=1, max_size=8))
+    def test_program_roundtrip(self, entries):
+        program = ArrayProgram(16)
+        program.declare_array(0, "a", 0, 64)
+        used = set()
+        pe_program = program.program_for(0)
+        for entry in entries:
+            if entry.addr in used:
+                continue
+            used.add(entry.addr)
+            pe_program.add(entry)
+        image = encode_program(program)
+        decoded = decode_program(image)
+        assert decoded.n_pes == 16
+        assert len(decoded.program_for(0)) == len(used)
+        for entry in pe_program:
+            assert decoded.program_for(0).get(entry.addr) == entry

@@ -1,0 +1,90 @@
+"""Benes network tests: exhaustive small sizes, property-based large ones."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.arch.network.benes import BenesNetwork
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n,stages,switches", [
+        (2, 1, 1), (4, 3, 6), (8, 5, 20), (16, 7, 56), (64, 11, 352),
+    ])
+    def test_stage_and_switch_counts(self, n, stages, switches):
+        net = BenesNetwork(n)
+        assert net.stages == stages
+        assert net.switch_count == switches
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 6, 12, 100])
+    def test_non_power_of_two_rejected(self, n):
+        with pytest.raises(NetworkError):
+            BenesNetwork(n)
+
+
+class TestRouting:
+    def test_identity(self):
+        net = BenesNetwork(8)
+        outputs = net.simulate(net.route(range(8)), list("abcdefgh"))
+        assert outputs == list("abcdefgh")
+
+    def test_reversal(self):
+        net = BenesNetwork(8)
+        perm = list(range(8))[::-1]
+        outputs = net.simulate(net.route(perm), list(range(8)))
+        assert outputs == perm  # outputs[perm[i]] == i means outputs == perm
+
+    def test_exhaustive_n4(self):
+        net = BenesNetwork(4)
+        for perm in itertools.permutations(range(4)):
+            assert net.verify(list(perm)), perm
+
+    def test_exhaustive_n8(self):
+        net = BenesNetwork(8)
+        for perm in itertools.permutations(range(8)):
+            assert net.verify(list(perm)), perm
+
+    def test_invalid_permutation_rejected(self):
+        net = BenesNetwork(4)
+        with pytest.raises(NetworkError):
+            net.route([0, 0, 1, 2])
+        with pytest.raises(NetworkError):
+            net.route([0, 1, 2])
+
+    def test_simulate_size_mismatch(self):
+        net = BenesNetwork(4)
+        config = net.route(range(4))
+        with pytest.raises(NetworkError):
+            net.simulate(config, [1, 2, 3])
+
+    def test_config_size_mismatch(self):
+        small = BenesNetwork(4)
+        large = BenesNetwork(8)
+        with pytest.raises(NetworkError):
+            large.simulate(small.route(range(4)), list(range(8)))
+
+
+class TestRoutingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.permutations(list(range(16))))
+    def test_any_permutation_routes_n16(self, perm):
+        assert BenesNetwork(16).verify(list(perm))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.permutations(list(range(64))))
+    def test_any_permutation_routes_n64(self, perm):
+        assert BenesNetwork(64).verify(list(perm))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.permutations(list(range(16))))
+    def test_rearrangeability_is_stateless(self, perm):
+        """Routing one permutation then another always succeeds (the network
+        is rearrangeable: each configuration is independent)."""
+        net = BenesNetwork(16)
+        net.route(list(perm))
+        inverse = [0] * 16
+        for i, o in enumerate(perm):
+            inverse[o] = i
+        assert net.verify(inverse)
