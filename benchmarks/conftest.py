@@ -3,9 +3,15 @@
 Each benchmark regenerates one paper table/figure at the ``small`` workload
 scale (set ``REPRO_BENCH_SCALE=paper`` for Table 5 sizes; expect minutes).
 The first benchmark to touch a workload pays its functional-interpretation
-cost; the shared :class:`~repro.experiments.common.SuiteContext` caches the
-traces so subsequent figures measure model evaluation, as the paper's own
-toolflow does (one simulation, many analyses).
+cost; the shared experiment engine caches the traces so subsequent figures
+measure model evaluation, as the paper's own toolflow does (one simulation,
+many analyses).
+
+Registered engine benchmarks:
+
+* ``test_engine_speedup.py`` — asserts the warm-cache (+parallel) report
+  run beats the serial seed path, using the session-scoped
+  ``engine_cache_dir`` below as its on-disk cache.
 
 Every benchmark prints its figure/table rows, so
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the full evaluation.
@@ -22,6 +28,12 @@ SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 @pytest.fixture(scope="session")
 def scale() -> str:
     return SCALE
+
+
+@pytest.fixture(scope="session")
+def engine_cache_dir(tmp_path_factory):
+    """A session-lived on-disk cache directory for engine benchmarks."""
+    return tmp_path_factory.mktemp("engine-cache")
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -443,6 +443,32 @@ class LoopBreakdown:
     def total_cycles(self) -> int:
         return self.own_cycles + self.child_cycles
 
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe image (the engine's on-disk result cache)."""
+        return {
+            "header": self.header, "depth": self.depth,
+            "innermost": self.innermost, "entries": self.entries,
+            "iterations": self.iterations, "ii": self.ii,
+            "unroll": self.unroll, "startup": self.startup,
+            "drain": self.drain, "own_cycles": self.own_cycles,
+            "child_cycles": self.child_cycles,
+            "overlapped": self.overlapped,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "LoopBreakdown":
+        return cls(
+            header=int(payload["header"]), depth=int(payload["depth"]),
+            innermost=bool(payload["innermost"]),
+            entries=int(payload["entries"]),
+            iterations=int(payload["iterations"]), ii=int(payload["ii"]),
+            unroll=int(payload["unroll"]), startup=int(payload["startup"]),
+            drain=int(payload["drain"]),
+            own_cycles=int(payload["own_cycles"]),
+            child_cycles=int(payload["child_cycles"]),
+            overlapped=bool(payload["overlapped"]),
+        )
+
 
 @dataclass
 class CycleResult:
@@ -466,6 +492,28 @@ class CycleResult:
         if self.cycles == 0:
             raise CompilationError("zero-cycle result")
         return other.cycles / self.cycles
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe image (the engine's on-disk result cache)."""
+        return {
+            "arch": self.arch, "kernel": self.kernel,
+            "cycles": self.cycles, "busy_pe_cycles": self.busy_pe_cycles,
+            "n_pes": self.n_pes, "flat_cycles": self.flat_cycles,
+            "breakdowns": [b.to_payload() for b in self.breakdowns],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "CycleResult":
+        return cls(
+            arch=str(payload["arch"]), kernel=str(payload["kernel"]),
+            cycles=int(payload["cycles"]),
+            busy_pe_cycles=int(payload["busy_pe_cycles"]),
+            n_pes=int(payload["n_pes"]),
+            flat_cycles=int(payload["flat_cycles"]),
+            breakdowns=[
+                LoopBreakdown.from_payload(b) for b in payload["breakdowns"]
+            ],
+        )
 
 
 # ----------------------------------------------------------------------

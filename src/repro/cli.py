@@ -3,6 +3,10 @@
 Commands:
 
 * ``report [--scale S]`` — regenerate every table/figure;
+* ``bench [--scale S] [--seed N] [--jobs N] [--cache-dir PATH]
+  [--format ascii|json|csv]`` — the full report through the parallel
+  experiment engine, with on-disk trace caching and machine-readable
+  exports (the JSON export carries the engine's run statistics);
 * ``experiment NAME [--scale S]`` — one experiment (fig11..fig17,
   table4, table6, ablations);
 * ``workloads [--scale S]`` — run + verify the benchmark suite, printing
@@ -42,6 +46,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import render_report
 
     print(render_report(args.scale))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.engine import Engine, report_csv, report_json
+    from repro.experiments.report import render_report, run_all
+
+    engine = Engine(cache_dir=args.cache_dir, jobs=args.jobs)
+    if args.format == "ascii":
+        print(render_report(args.scale, args.seed, engine=engine))
+        return 0
+    results = run_all(args.scale, args.seed, engine=engine)
+    if args.format == "json":
+        print(report_json(
+            results,
+            stats=engine.stats.as_dict(),
+            meta={"scale": args.scale, "seed": args.seed,
+                  "jobs": args.jobs},
+        ))
+    else:
+        print(report_csv(results))
     return 0
 
 
@@ -140,6 +165,20 @@ def main(argv: List[str] = None) -> int:
     p_report.add_argument("--scale", default="small",
                           choices=("tiny", "small", "paper"))
     p_report.set_defaults(fn=_cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench", help="full report through the parallel experiment engine"
+    )
+    p_bench.add_argument("--scale", default="small",
+                         choices=("tiny", "small", "paper"))
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = serial)")
+    p_bench.add_argument("--cache-dir", default=None,
+                         help="on-disk trace/result cache directory")
+    p_bench.add_argument("--format", default="ascii",
+                         choices=("ascii", "json", "csv"))
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_exp = sub.add_parser("experiment", help="one table/figure")
     p_exp.add_argument("name", choices=_EXPERIMENTS)

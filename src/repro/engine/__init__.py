@@ -1,0 +1,43 @@
+"""The parallel experiment engine.
+
+Layers (bottom up):
+
+* :mod:`repro.engine.spec` — declarative :class:`RunSpec`/:class:`ModelSpec`
+  enumeration of the (workload, scale, seed, model, params) space;
+* :mod:`repro.engine.cache` — content-addressed on-disk cache for
+  functional traces and cycle results;
+* :mod:`repro.engine.executor` — the :class:`Engine`: batch execution with
+  multiprocessing, deterministic result ordering, and run statistics;
+* :mod:`repro.engine.export` — JSON/CSV report exports.
+
+See ``docs/ENGINE.md`` for the cache layout and the CLI surface.
+"""
+
+from repro.engine.cache import ENGINE_VERSION, TraceCache, fingerprint
+from repro.engine.executor import (
+    Engine,
+    EngineStats,
+    KernelRun,
+    default_engine,
+    set_default_engine,
+)
+from repro.engine.export import report_csv, report_json, result_payload
+from repro.engine.spec import MODEL_REGISTRY, ModelSpec, RunResult, RunSpec
+
+__all__ = [
+    "ENGINE_VERSION",
+    "Engine",
+    "EngineStats",
+    "KernelRun",
+    "MODEL_REGISTRY",
+    "ModelSpec",
+    "RunResult",
+    "RunSpec",
+    "TraceCache",
+    "default_engine",
+    "fingerprint",
+    "report_csv",
+    "report_json",
+    "result_payload",
+    "set_default_engine",
+]

@@ -1,0 +1,102 @@
+"""Content-addressed on-disk cache for traces and cycle results.
+
+Every record is addressed by the SHA-256 of its canonical-JSON key — the
+key spells out everything the record depends on (workload name, scale,
+seed, architecture parameters, model identity, engine version), so a
+change to any input lands on a different address and stale records are
+simply never read again.  Records are JSON files under
+``<root>/<hh>/<hash>.json`` (two-level fan-out), written atomically via a
+temp file + rename so concurrent worker processes can share one
+directory.
+
+The cache also keeps an in-memory layer, making it usable as the engine's
+process-local memo when no directory is configured.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from repro.arch.params import ArchParams
+
+#: Bump to invalidate every cached record (trace format or any execution
+#: model changed in a result-affecting way).
+ENGINE_VERSION = 1
+
+
+def params_token(params: ArchParams) -> Dict[str, object]:
+    """JSON-safe identity of an :class:`ArchParams` (cache key component)."""
+    return dataclasses.asdict(params)
+
+
+def fingerprint(key: Mapping[str, object]) -> str:
+    """SHA-256 content address of a canonical-JSON key."""
+    canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class TraceCache:
+    """Two-layer (memory + optional disk) content-addressed store."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._memory: Dict[str, object] = {}
+        self.disk_hits = 0
+        self.memory_hits = 0
+        self.misses = 0
+
+    @property
+    def persistent(self) -> bool:
+        return self.root is not None
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: Mapping[str, object]) -> Optional[object]:
+        """Stored payload for ``key``, or None."""
+        digest = fingerprint(key)
+        if digest in self._memory:
+            self.memory_hits += 1
+            return self._memory[digest]
+        if self.root is not None:
+            path = self._path(digest)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                payload = None
+            if payload is not None:
+                self._memory[digest] = payload
+                self.disk_hits += 1
+                return payload
+        self.misses += 1
+        return None
+
+    def put(self, key: Mapping[str, object], payload: object) -> None:
+        """Store ``payload`` under ``key`` (atomic on disk)."""
+        digest = fingerprint(key)
+        self._memory[digest] = payload
+        if self.root is None:
+            return
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,323 @@
+"""The parallel experiment engine.
+
+The :class:`Engine` turns lists of :class:`~repro.engine.spec.RunSpec` into
+deterministic lists of :class:`~repro.engine.spec.RunResult`:
+
+* **functional traces** (the expensive part — interpreting a workload and
+  verifying it against its reference) are computed once per
+  (workload, scale, seed), shared by every architecture model and every
+  parameter sweep, and survive across processes in the content-addressed
+  :class:`~repro.engine.cache.TraceCache`;
+* **cycle results** are cached under the full spec identity (params +
+  model + engine version), so re-running a report with a warm cache does
+  no model evaluation either;
+* with ``jobs > 1`` both phases fan out over a ``multiprocessing`` pool;
+  results are reassembled in spec order, so parallel and serial runs are
+  indistinguishable downstream.
+
+:attr:`Engine.stats` counts what actually ran — ``traces_computed`` is the
+number of workload functional simulations this engine performed, the
+counter the warm-cache acceptance check reads from the JSON export.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.base import CycleResult, KernelInstance
+from repro.engine.cache import (
+    ENGINE_VERSION,
+    TraceCache,
+    params_token,
+)
+from repro.engine.spec import ModelSpec, RunResult, RunSpec
+from repro.ir.trace import DynamicTrace
+from repro.workloads import Workload, WorkloadInstance, get_workload
+
+#: (workload short name, scale, seed) — identity of one functional trace.
+TraceKey = Tuple[str, str, int]
+
+
+class KernelRun:
+    """One workload's cached execution (kernel + trace).
+
+    ``instance`` (the input/reference binding) is built lazily: on a warm
+    trace cache, experiments that only need the kernel never pay for
+    random input generation and the Python reference implementation.
+    """
+
+    def __init__(self, workload: Workload, kernel: KernelInstance,
+                 scale: str, seed: int,
+                 instance: Optional[WorkloadInstance] = None) -> None:
+        self.workload = workload
+        self.kernel = kernel
+        self.scale = scale
+        self.seed = seed
+        self._instance = instance
+
+    @property
+    def instance(self) -> WorkloadInstance:
+        """The workload's input/reference binding.
+
+        On a cache-hit path this rebinds fresh inputs without
+        re-interpreting or re-checking — the trace was verified against
+        the reference when it was recorded.
+        """
+        if self._instance is None:
+            self._instance = self.workload.instance(
+                self.scale, seed=self.seed
+            )
+        return self._instance
+
+
+@dataclass
+class EngineStats:
+    """What one engine actually computed (exposed in the JSON export)."""
+
+    traces_computed: int = 0   # workload functional simulations performed
+    trace_cache_hits: int = 0  # traces served from the on-disk cache
+    simulations: int = 0       # architecture model evaluations performed
+    sim_cache_hits: int = 0    # cycle results served from the cache
+    sim_memo_hits: int = 0     # re-lookups served from this engine's memo
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "traces_computed": self.traces_computed,
+            "trace_cache_hits": self.trace_cache_hits,
+            "simulations": self.simulations,
+            "sim_cache_hits": self.sim_cache_hits,
+            "sim_memo_hits": self.sim_memo_hits,
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker-process entry points (module-level: picklable under spawn too)
+# ----------------------------------------------------------------------
+_WORKER_TRACES: Dict[TraceKey, dict] = {}
+_WORKER_KERNELS: Dict[TraceKey, KernelInstance] = {}
+
+
+def _trace_job(key: TraceKey) -> Tuple[TraceKey, dict]:
+    """Interpret one workload, verify it, return its trace payload."""
+    short, scale, seed = key
+    instance = get_workload(short).instance(scale, seed=seed)
+    instance.check()
+    return key, instance.run().trace.to_payload()
+
+
+def _init_sim_worker(traces: Dict[TraceKey, dict]) -> None:
+    global _WORKER_TRACES, _WORKER_KERNELS
+    _WORKER_TRACES = traces
+    _WORKER_KERNELS = {}
+
+
+def _kernel_from_payload(key: TraceKey, payload: dict) -> KernelInstance:
+    short, scale, _seed = key
+    workload = get_workload(short)
+    cdfg = workload.build(workload.sizes(scale))
+    return KernelInstance(cdfg, DynamicTrace.from_payload(payload))
+
+
+def _sim_job(item: Tuple[int, RunSpec]) -> Tuple[int, dict]:
+    """Price one spec against its (worker-memoised) kernel instance."""
+    index, spec = item
+    key = spec.trace_key()
+    kernel = _WORKER_KERNELS.get(key)
+    if kernel is None:
+        kernel = _kernel_from_payload(key, _WORKER_TRACES[key])
+        _WORKER_KERNELS[key] = kernel
+    model = spec.model.build(spec.params)
+    return index, model.simulate(kernel).to_payload()
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class Engine:
+    """Executes :class:`RunSpec` batches with caching and parallelism."""
+
+    def __init__(self, cache_dir=None, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = TraceCache(cache_dir)
+        self.stats = EngineStats()
+        self._trace_payloads: Dict[TraceKey, dict] = {}
+        self._instances: Dict[TraceKey, WorkloadInstance] = {}
+        self._kernels: Dict[TraceKey, KernelInstance] = {}
+        self._kernel_runs: Dict[TraceKey, KernelRun] = {}
+        self._cycles: Dict[RunSpec, CycleResult] = {}
+
+    # -- cache keys ------------------------------------------------------
+    @staticmethod
+    def _trace_cache_key(key: TraceKey) -> Dict[str, object]:
+        short, scale, seed = key
+        return {
+            "kind": "trace", "version": ENGINE_VERSION,
+            "workload": short, "scale": scale, "seed": seed,
+        }
+
+    @staticmethod
+    def _cycles_cache_key(spec: RunSpec) -> Dict[str, object]:
+        return {
+            "kind": "cycles", "version": ENGINE_VERSION,
+            "workload": spec.workload, "scale": spec.scale,
+            "seed": spec.seed, "model": spec.model.token(),
+            "params": params_token(spec.params),
+        }
+
+    # -- traces ----------------------------------------------------------
+    def _ensure_traces(self, keys: Set[TraceKey]) -> None:
+        missing: List[TraceKey] = []
+        for key in sorted(keys):
+            if key in self._trace_payloads:
+                continue
+            payload = self.cache.get(self._trace_cache_key(key))
+            if payload is not None:
+                self.stats.trace_cache_hits += 1
+                self._trace_payloads[key] = payload
+                continue
+            missing.append(key)
+        if not missing:
+            return
+        if self.jobs > 1 and len(missing) > 1:
+            ctx = _pool_context()
+            with ctx.Pool(min(self.jobs, len(missing))) as pool:
+                computed = list(pool.imap_unordered(_trace_job, missing))
+        else:
+            computed = []
+            for key in missing:
+                short, scale, seed = key
+                instance = get_workload(short).instance(scale, seed=seed)
+                instance.check()
+                self._instances[key] = instance
+                computed.append((key, instance.run().trace.to_payload()))
+        for key, payload in computed:
+            self._trace_payloads[key] = payload
+            self.cache.put(self._trace_cache_key(key), payload)
+        self.stats.traces_computed += len(missing)
+
+    def _kernel(self, key: TraceKey) -> KernelInstance:
+        if key not in self._kernels:
+            self._ensure_traces({key})
+            payload = self._trace_payloads[key]
+            instance = self._instances.get(key)
+            if instance is not None:
+                cdfg = instance.cdfg
+            else:
+                short, scale, _seed = key
+                workload = get_workload(short)
+                cdfg = workload.build(workload.sizes(scale))
+            self._kernels[key] = KernelInstance(
+                cdfg, DynamicTrace.from_payload(payload)
+            )
+        return self._kernels[key]
+
+    def kernel_run(self, workload: Workload, scale: str = "small",
+                   seed: int = 0) -> KernelRun:
+        """One workload's verified execution (cached at every layer)."""
+        key = (workload.short.lower(), scale, seed)
+        if key not in self._kernel_runs:
+            self._ensure_traces({key})
+            self._kernel_runs[key] = KernelRun(
+                workload=workload, kernel=self._kernel(key),
+                scale=scale, seed=seed,
+                instance=self._instances.get(key),
+            )
+        return self._kernel_runs[key]
+
+    # -- cycle results ---------------------------------------------------
+    def execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Run every spec; results come back in spec order."""
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        pending: Dict[RunSpec, List[int]] = {}
+        for index, spec in enumerate(specs):
+            cached = self._cycles.get(spec)
+            from_memo = cached is not None
+            if cached is None:
+                payload = self.cache.get(self._cycles_cache_key(spec))
+                if payload is not None:
+                    cached = CycleResult.from_payload(payload)
+                    self._cycles[spec] = cached
+            if cached is not None:
+                # Memo re-reads within this engine (run_all prefetches,
+                # then each experiment looks its specs up again) are not
+                # evidence of a warm cache — count them apart.
+                if from_memo:
+                    self.stats.sim_memo_hits += 1
+                else:
+                    self.stats.sim_cache_hits += 1
+                results[index] = RunResult(spec, cached, cached=True)
+            else:
+                pending.setdefault(spec, []).append(index)
+
+        if pending:
+            order = list(pending)
+            self._ensure_traces({spec.trace_key() for spec in order})
+            if self.jobs > 1 and len(order) > 1:
+                needed = {spec.trace_key() for spec in order}
+                traces = {k: self._trace_payloads[k] for k in needed}
+                # Group a kernel's specs into one chunk so each worker
+                # builds (and analyses) as few kernel instances as possible.
+                items = sorted(
+                    enumerate(order), key=lambda item: item[1].trace_key()
+                )
+                workers = min(self.jobs, len(order))
+                chunk = -(-len(items) // workers)
+                ctx = _pool_context()
+                with ctx.Pool(
+                    workers,
+                    initializer=_init_sim_worker, initargs=(traces,),
+                ) as pool:
+                    computed = list(pool.imap_unordered(
+                        _sim_job, items, chunksize=chunk
+                    ))
+                by_index = dict(computed)
+                outcomes = [
+                    CycleResult.from_payload(by_index[i])
+                    for i in range(len(order))
+                ]
+            else:
+                outcomes = []
+                for spec in order:
+                    model = spec.model.build(spec.params)
+                    outcomes.append(
+                        model.simulate(self._kernel(spec.trace_key()))
+                    )
+            self.stats.simulations += len(order)
+            for spec, outcome in zip(order, outcomes):
+                self._cycles[spec] = outcome
+                self.cache.put(
+                    self._cycles_cache_key(spec), outcome.to_payload()
+                )
+                for index in pending[spec]:
+                    results[index] = RunResult(spec, outcome, cached=False)
+
+        return list(results)
+
+
+# ----------------------------------------------------------------------
+# Default engine (shared by experiments invoked without one)
+# ----------------------------------------------------------------------
+_DEFAULT: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The process-wide engine every experiment shares by default."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Engine()
+    return _DEFAULT
+
+
+def set_default_engine(engine: Optional[Engine]) -> None:
+    """Replace (or, with None, reset) the process-wide default engine."""
+    global _DEFAULT
+    _DEFAULT = engine

@@ -1,0 +1,85 @@
+"""Machine-readable experiment exports (JSON / CSV).
+
+The ASCII tables of :class:`~repro.experiments.common.ExperimentResult`
+are for reading; these exporters are for diffing and post-processing —
+the golden-result regression tests snapshot the JSON form, and
+``repro bench --format json`` attaches the engine statistics so a warm
+cache run can prove it re-simulated nothing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def _plain(value: object) -> object:
+    """Coerce numpy scalars/arrays so payloads are pure-JSON types."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_plain(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def result_payload(result) -> Dict[str, object]:
+    """One :class:`ExperimentResult` as a JSON-safe dict."""
+    return {
+        "experiment": result.experiment,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [_plain(row) for row in result.rows],
+        "summary": _plain(result.summary),
+        "paper_claim": result.paper_claim,
+        "notes": list(result.notes),
+    }
+
+
+def report_json(results: Sequence, *, stats: Optional[Dict[str, int]] = None,
+                meta: Optional[Dict[str, object]] = None,
+                indent: int = 2) -> str:
+    """A whole report (plus engine stats) as one JSON document."""
+    document: Dict[str, object] = {}
+    if meta:
+        document.update(_plain(meta))
+    if stats is not None:
+        document["engine_stats"] = dict(stats)
+    document["experiments"] = [result_payload(r) for r in results]
+    return json.dumps(document, indent=indent, sort_keys=False)
+
+
+def report_csv(results: Sequence) -> str:
+    """A whole report as CSV, one header+rows section per experiment."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    for result in results:
+        # Section headers are comment lines, not CSV records — write them
+        # raw so a comma in a title does not get quoted.
+        buffer.write(f"# {result.experiment}: {result.title}\n")
+        writer.writerow(["experiment"] + list(result.columns))
+        for row in result.rows:
+            writer.writerow(
+                [result.experiment]
+                + [_plain(row.get(c, "")) for c in result.columns]
+            )
+        if result.summary:
+            # Summaries carry different fields than the data rows, so
+            # they form their own mini-section with a matching header.
+            buffer.write(f"# {result.experiment}: summary\n")
+            writer.writerow(["experiment", "summary_key", "summary_value"])
+            for key, value in result.summary.items():
+                writer.writerow([result.experiment, key, _plain(value)])
+        writer.writerow([])
+    return buffer.getvalue()

@@ -1,0 +1,122 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` names one (workload, scale, seed, model, params) point of
+the evaluation space without constructing anything: workloads by their
+registry short name, models by a :class:`ModelSpec` (registry key plus
+keyword options).  Specs are frozen, hashable, and picklable, so they can be
+deduplicated, used as cache keys, and shipped to worker processes — the
+experiments enumerate specs, the :class:`~repro.engine.executor.Engine`
+decides where and whether each one actually runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Type
+
+from repro.arch.params import ArchParams
+from repro.baselines import (
+    ArchModel,
+    CycleResult,
+    DataflowModel,
+    IdealModel,
+    MarionetteModel,
+    RevelModel,
+    RipTideModel,
+    SoftbrainModel,
+    TIAModel,
+    VonNeumannModel,
+)
+from repro.errors import ConfigurationError
+
+#: Architecture model registry: spec key -> model class.
+MODEL_REGISTRY: Dict[str, Type[ArchModel]] = {
+    "von_neumann": VonNeumannModel,
+    "dataflow": DataflowModel,
+    "softbrain": SoftbrainModel,
+    "tia": TIAModel,
+    "revel": RevelModel,
+    "riptide": RipTideModel,
+    "marionette": MarionetteModel,
+    "ideal": IdealModel,
+}
+
+#: Registry keys whose class accepts feature toggles / a display name
+#: (only Marionette is parameterisable; the baselines are fixed presets).
+_CONFIGURABLE = frozenset({"marionette"})
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One architecture model, named declaratively.
+
+    ``options`` is a sorted tuple of (keyword, value) pairs so equal model
+    configurations hash equally; ``label`` overrides the model's display
+    name (it flows into :attr:`CycleResult.arch`, so it is part of the
+    cache identity).
+    """
+
+    model: str
+    options: Tuple[Tuple[str, object], ...] = ()
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.model not in MODEL_REGISTRY:
+            raise ConfigurationError(
+                f"unknown model {self.model!r}; "
+                f"known: {sorted(MODEL_REGISTRY)}"
+            )
+        if (self.options or self.label) and (
+                self.model not in _CONFIGURABLE):
+            raise ConfigurationError(
+                f"model {self.model!r} takes no options"
+            )
+
+    @classmethod
+    def make(cls, model: str, label: Optional[str] = None,
+             **options: object) -> "ModelSpec":
+        return cls(model, tuple(sorted(options.items())), label)
+
+    def build(self, params: ArchParams) -> ArchModel:
+        """Instantiate the model for one parameter set."""
+        kwargs = dict(self.options)
+        if self.label is not None:
+            kwargs["name"] = self.label
+        return MODEL_REGISTRY[self.model](params, **kwargs)
+
+    def token(self) -> Dict[str, object]:
+        """JSON-safe identity (cache key component)."""
+        return {
+            "model": self.model,
+            "options": [[k, v] for k, v in self.options],
+            "label": self.label,
+        }
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One point of the evaluation space: workload x model x parameters."""
+
+    workload: str          # workload registry short name ("gemm", "crc", ..)
+    scale: str
+    seed: int
+    model: ModelSpec
+    params: ArchParams
+
+    def trace_key(self) -> Tuple[str, str, int]:
+        """Identity of the functional trace this run replays (parameters
+        and model do not affect functional execution)."""
+        return (self.workload, self.scale, self.seed)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :class:`RunSpec`."""
+
+    spec: RunSpec
+    result: CycleResult
+    cached: bool = False
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles

@@ -11,24 +11,53 @@ Three sweeps over the design choices DESIGN.md calls out:
 * **control FIFO depth** — how deep the per-PE control queues must be
   before the Scheduler stops rejecting standing configurations (measured
   on the micro-architectural simulator).
+
+The parameter sweeps enumerate :class:`RunSpec` batches: the engine shares
+one functional trace per workload across every parameter point, so a sweep
+costs sweeps-many model evaluations, not sweeps-many workload simulations.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.arch.params import ArchParams, DEFAULT_PARAMS
-from repro.baselines import MarionetteModel, VonNeumannModel
+from repro.arch.params import DEFAULT_PARAMS
+from repro.engine.executor import Engine
+from repro.engine.spec import RunSpec
 from repro.perf.speedup import geomean
-from repro.experiments.common import ExperimentResult, SuiteContext
+from repro.workloads import INTENSIVE_WORKLOADS
+from repro.experiments.common import (
+    MARIONETTE,
+    MARIONETTE_CN,
+    MARIONETTE_PE,
+    VON_NEUMANN,
+    ExperimentResult,
+    execute_specs,
+)
+
+_ARRAY_SIZES: Sequence[int] = (2, 4, 8)
+_MESH_LATENCIES: Sequence[int] = (2, 4, 6, 10)
+
+
+def _array_size_specs(scale: str, seed: int,
+                      sizes: Sequence[int]) -> List[RunSpec]:
+    return [
+        RunSpec(w.short.lower(), scale, seed, model,
+                DEFAULT_PARAMS.scaled(size, size))
+        for size in sizes
+        for w in INTENSIVE_WORKLOADS
+        for model in (VON_NEUMANN, MARIONETTE)
+    ]
 
 
 def array_size_sweep(scale: str = "small", seed: int = 0,
-                     sizes: Sequence[int] = (2, 4, 8)) -> ExperimentResult:
+                     sizes: Sequence[int] = _ARRAY_SIZES,
+                     engine: Optional[Engine] = None) -> ExperimentResult:
     """Marionette-vs-von-Neumann geomean across array sizes."""
+    table = execute_specs(_array_size_specs(scale, seed, sizes), engine)
     result = ExperimentResult(
         experiment="Ablation A1",
         title="Marionette advantage vs array size (intensive geomean)",
@@ -39,14 +68,16 @@ def array_size_sweep(scale: str = "small", seed: int = 0,
     )
     for size in sizes:
         params = DEFAULT_PARAMS.scaled(size, size)
-        context = SuiteContext.get(scale, seed, params)
-        von_neumann = VonNeumannModel(params)
-        marionette = MarionetteModel(params)
         vn_cycles: List[int] = []
         m_cycles: List[int] = []
-        for run_ in context.intensive():
-            vn_cycles.append(von_neumann.simulate(run_.kernel).cycles)
-            m_cycles.append(marionette.simulate(run_.kernel).cycles)
+        for workload in INTENSIVE_WORKLOADS:
+            short = workload.short.lower()
+            vn_cycles.append(table.cycles(
+                RunSpec(short, scale, seed, VON_NEUMANN, params)
+            ))
+            m_cycles.append(table.cycles(
+                RunSpec(short, scale, seed, MARIONETTE, params)
+            ))
         speedups = [v / m for v, m in zip(vn_cycles, m_cycles)]
         result.rows.append({
             "array": f"{size}x{size}",
@@ -59,10 +90,22 @@ def array_size_sweep(scale: str = "small", seed: int = 0,
     return result
 
 
+def _mesh_latency_specs(scale: str, seed: int,
+                        latencies: Sequence[int]) -> List[RunSpec]:
+    return [
+        RunSpec(w.short.lower(), scale, seed, model,
+                replace(DEFAULT_PARAMS, data_net_latency=latency))
+        for latency in latencies
+        for w in INTENSIVE_WORKLOADS
+        for model in (MARIONETTE_PE, MARIONETTE_CN)
+    ]
+
+
 def mesh_latency_sweep(scale: str = "small", seed: int = 0,
-                       latencies: Sequence[int] = (2, 4, 6, 10)
-                       ) -> ExperimentResult:
+                       latencies: Sequence[int] = _MESH_LATENCIES,
+                       engine: Optional[Engine] = None) -> ExperimentResult:
     """Control network gain as a function of data mesh latency."""
+    table = execute_specs(_mesh_latency_specs(scale, seed, latencies), engine)
     result = ExperimentResult(
         experiment="Ablation A2",
         title="Control-network speedup vs data mesh latency",
@@ -72,14 +115,14 @@ def mesh_latency_sweep(scale: str = "small", seed: int = 0,
     )
     for latency in latencies:
         params = replace(DEFAULT_PARAMS, data_net_latency=latency)
-        context = SuiteContext.get(scale, seed, params)
-        base = MarionetteModel(params, control_network=False, agile=False)
-        with_cn = MarionetteModel(params, control_network=True, agile=False)
         gains = []
-        for run_ in context.intensive():
+        for workload in INTENSIVE_WORKLOADS:
+            short = workload.short.lower()
             gains.append(
-                base.simulate(run_.kernel).cycles
-                / with_cn.simulate(run_.kernel).cycles
+                table.cycles(RunSpec(short, scale, seed,
+                                     MARIONETTE_PE, params))
+                / table.cycles(RunSpec(short, scale, seed,
+                                       MARIONETTE_CN, params))
             )
         result.rows.append({
             "data_net_latency": latency,
@@ -141,10 +184,24 @@ def fifo_depth_sweep(depths: Sequence[int] = (1, 2, 4, 8)
     return result
 
 
-def run(scale: str = "small", seed: int = 0) -> List[ExperimentResult]:
+def specs(scale: str = "small", seed: int = 0) -> List[RunSpec]:
+    """Every model evaluation the parameter sweeps will need.
+
+    Unlike the figure modules, the sweeps define their own parameter
+    points, so there is no ``params`` argument to honour here.
+    """
+    return (
+        _array_size_specs(scale, seed, _ARRAY_SIZES)
+        + _mesh_latency_specs(scale, seed, _MESH_LATENCIES)
+    )
+
+
+def run(scale: str = "small", seed: int = 0,
+        engine: Optional[Engine] = None) -> List[ExperimentResult]:
+    execute_specs(specs(scale, seed), engine)  # one batch, shared traces
     return [
-        array_size_sweep(scale, seed),
-        mesh_latency_sweep(scale, seed),
+        array_size_sweep(scale, seed, engine=engine),
+        mesh_latency_sweep(scale, seed, engine=engine),
         fifo_depth_sweep(),
     ]
 

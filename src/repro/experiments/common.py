@@ -1,48 +1,104 @@
 """Experiment harness shared by every table/figure module.
 
-:class:`SuiteContext` runs each workload once per scale and caches the
-functional trace — the expensive part — so all nine experiments replay the
-same executions through different architecture models.  Results are plain
-:class:`ExperimentResult` tables that render to aligned ASCII, mirroring
-the rows/series of the paper's figures.
+Execution goes through the :mod:`repro.engine` subsystem: each experiment
+enumerates declarative :class:`~repro.engine.spec.RunSpec` combinations and
+hands them to an :class:`~repro.engine.executor.Engine`, which caches
+functional traces (the expensive part) on disk, shares them across all nine
+experiments and every parameter sweep, and optionally fans the model
+evaluations out over worker processes.  :class:`SuiteContext` remains as a
+thin per-(scale, seed) view over the engine for code that needs the
+verified workload instances themselves.
+
+Results are plain :class:`ExperimentResult` tables that render to aligned
+ASCII, mirroring the rows/series of the paper's figures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.arch.params import ArchParams, DEFAULT_PARAMS
-from repro.baselines.base import KernelInstance
+from repro.engine.executor import Engine, KernelRun, default_engine
+from repro.engine.spec import ModelSpec, RunResult, RunSpec
 from repro.workloads import (
     ALL_WORKLOADS,
     INTENSIVE_WORKLOADS,
     NON_INTENSIVE_WORKLOADS,
     Workload,
-    WorkloadInstance,
+)
+
+#: Canonical model specs shared across experiments, so figures that price
+#: the same configuration (e.g. the bare Marionette PE in Figs. 11/12/14/16)
+#: share one cache entry per kernel.
+VON_NEUMANN = ModelSpec.make("von_neumann")
+DATAFLOW = ModelSpec.make("dataflow")
+SOFTBRAIN = ModelSpec.make("softbrain")
+TIA = ModelSpec.make("tia")
+REVEL = ModelSpec.make("revel")
+RIPTIDE = ModelSpec.make("riptide")
+IDEAL = ModelSpec.make("ideal")
+MARIONETTE = ModelSpec.make("marionette")
+MARIONETTE_PE = ModelSpec.make(
+    "marionette", label="Marionette PE",
+    control_network=False, agile=False,
+)
+MARIONETTE_CN = ModelSpec.make(
+    "marionette", label="Marionette PE + Control Network",
+    control_network=True, agile=False,
+)
+MARIONETTE_AGILE = ModelSpec.make(
+    "marionette", label="Marionette PE + Agile PE Assignment",
+    control_network=False, agile=True,
 )
 
 
-@dataclass
-class KernelRun:
-    """One workload's cached execution."""
+class ResultTable:
+    """Spec-indexed view over one :meth:`Engine.execute` batch."""
 
-    workload: Workload
-    instance: WorkloadInstance
-    kernel: KernelInstance
+    def __init__(self, results: Sequence[RunResult]) -> None:
+        self._by_spec: Dict[RunSpec, RunResult] = {
+            r.spec: r for r in results
+        }
+
+    def run(self, spec: RunSpec) -> RunResult:
+        return self._by_spec[spec]
+
+    def result(self, spec: RunSpec):
+        return self._by_spec[spec].result
+
+    def cycles(self, spec: RunSpec) -> int:
+        return self._by_spec[spec].result.cycles
+
+
+def execute_specs(specs: Sequence[RunSpec],
+                  engine: Optional[Engine] = None) -> ResultTable:
+    """Run ``specs`` on ``engine`` (default: the shared process engine)."""
+    engine = engine or default_engine()
+    return ResultTable(engine.execute(specs))
 
 
 class SuiteContext:
-    """Cached workload executions for one (scale, seed, params)."""
+    """Cached workload executions for one (scale, seed, params) view.
+
+    Functional traces are keyed by (workload, scale, seed) inside the
+    engine — parameter sweeps share them — so this class is only a
+    convenience binding of a scale/seed pair to the engine.
+    """
 
     _cache: Dict[tuple, "SuiteContext"] = {}
 
     def __init__(self, scale: str = "small", seed: int = 0,
-                 params: ArchParams = DEFAULT_PARAMS) -> None:
+                 params: ArchParams = DEFAULT_PARAMS,
+                 engine: Optional[Engine] = None) -> None:
         self.scale = scale
         self.seed = seed
         self.params = params
-        self._runs: Dict[str, KernelRun] = {}
+        self._engine = engine
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine or default_engine()
 
     @classmethod
     def get(cls, scale: str = "small", seed: int = 0,
@@ -54,15 +110,7 @@ class SuiteContext:
 
     # ------------------------------------------------------------------
     def run_of(self, workload: Workload) -> KernelRun:
-        if workload.short not in self._runs:
-            instance = workload.instance(self.scale, seed=self.seed)
-            instance.check()  # every experiment runs on verified outputs
-            result = instance.run()
-            self._runs[workload.short] = KernelRun(
-                workload=workload, instance=instance,
-                kernel=KernelInstance(instance.cdfg, result.trace),
-            )
-        return self._runs[workload.short]
+        return self.engine.kernel_run(workload, self.scale, self.seed)
 
     def intensive(self) -> List[KernelRun]:
         return [self.run_of(w) for w in INTENSIVE_WORKLOADS]

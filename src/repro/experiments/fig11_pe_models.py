@@ -12,23 +12,40 @@ Paper result: Marionette PE outperforms the von Neumann PE by geomean
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import List, Optional
 
 from repro.arch.params import ArchParams, DEFAULT_PARAMS
-from repro.baselines import DataflowModel, MarionetteModel, VonNeumannModel
+from repro.engine.executor import Engine
+from repro.engine.spec import RunSpec
 from repro.ir import analysis
 from repro.perf.speedup import geomean
-from repro.experiments.common import ExperimentResult, SuiteContext
+from repro.workloads import INTENSIVE_WORKLOADS
+from repro.experiments.common import (
+    DATAFLOW,
+    MARIONETTE_PE,
+    VON_NEUMANN,
+    ExperimentResult,
+    SuiteContext,
+    execute_specs,
+)
+
+_MODELS = (VON_NEUMANN, DATAFLOW, MARIONETTE_PE)
+
+
+def specs(scale: str = "small", seed: int = 0,
+          params: ArchParams = DEFAULT_PARAMS) -> List[RunSpec]:
+    return [
+        RunSpec(w.short.lower(), scale, seed, model, params)
+        for w in INTENSIVE_WORKLOADS
+        for model in _MODELS
+    ]
 
 
 def run(scale: str = "small", seed: int = 0,
-        params: ArchParams = DEFAULT_PARAMS) -> ExperimentResult:
-    context = SuiteContext.get(scale, seed, params)
-    von_neumann = VonNeumannModel(params)
-    dataflow = DataflowModel(params)
-    marionette = MarionetteModel(
-        params, control_network=False, agile=False, name="Marionette PE"
-    )
+        params: ArchParams = DEFAULT_PARAMS,
+        engine: Optional[Engine] = None) -> ExperimentResult:
+    table = execute_specs(specs(scale, seed, params), engine)
+    context = SuiteContext(scale, seed, params, engine)
 
     result = ExperimentResult(
         experiment="Figure 11",
@@ -40,13 +57,17 @@ def run(scale: str = "small", seed: int = 0,
     speedups_vn = []
     speedups_df = []
     for run_ in context.intensive():
+        short = run_.workload.short.lower()
         cycles = {
-            "vn": von_neumann.simulate(run_.kernel).cycles,
-            "df": dataflow.simulate(run_.kernel).cycles,
-            "m": marionette.simulate(run_.kernel).cycles,
+            "vn": table.cycles(RunSpec(short, scale, seed,
+                                       VON_NEUMANN, params)),
+            "df": table.cycles(RunSpec(short, scale, seed,
+                                       DATAFLOW, params)),
+            "m": table.cycles(RunSpec(short, scale, seed,
+                                      MARIONETTE_PE, params)),
         }
         under_branch = 100.0 * analysis.ops_under_branch_fraction(
-            run_.instance.cdfg, run_.kernel.trace
+            run_.kernel.cdfg, run_.kernel.trace
         )
         result.rows.append({
             "kernel": run_.workload.short,

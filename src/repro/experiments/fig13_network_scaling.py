@@ -7,15 +7,23 @@ because control flow tolerates more latency than the data path.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Optional, Sequence
 
 from repro.arch.network.area import delay_model, scaling_series, stages_for_array
+from repro.engine.executor import Engine
+from repro.engine.spec import RunSpec
 from repro.experiments.common import ExperimentResult
 
 
+def specs(scale: str = "small", seed: int = 0,
+          params=None) -> List[RunSpec]:
+    """Analytic experiment: no workload simulations required."""
+    return []
+
+
 def run(stage_range: Sequence[int] = (3, 5, 7, 9, 11, 13, 15, 17, 19),
-        frequencies_ghz: Sequence[float] = (0.5, 1.0, 2.0)
-        ) -> ExperimentResult:
+        frequencies_ghz: Sequence[float] = (0.5, 1.0, 2.0),
+        engine: Optional[Engine] = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment="Figure 13",
         title="Control network delay vs stages and synthesis frequency",

@@ -9,26 +9,38 @@ Paper result: outer-BB PE utilization improves 21.57x on average (GEMM
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 from repro.arch.params import ArchParams, DEFAULT_PARAMS
-from repro.baselines import MarionetteModel
-from repro.perf.speedup import geomean
+from repro.engine.executor import Engine
+from repro.engine.spec import RunSpec
 from repro.perf.utilization import outer_bb_utilization, pipeline_utilization
 from repro.workloads import get_workload
-from repro.experiments.common import ExperimentResult, SuiteContext
+from repro.experiments.common import (
+    MARIONETTE_AGILE,
+    MARIONETTE_PE,
+    ExperimentResult,
+    SuiteContext,
+    execute_specs,
+)
 
 FIG15_KERNELS = ("fft", "vi", "nw", "ht", "scd", "ldpc", "gemm")
 
 
+def specs(scale: str = "small", seed: int = 0,
+          params: ArchParams = DEFAULT_PARAMS) -> List[RunSpec]:
+    return [
+        RunSpec(name, scale, seed, model, params)
+        for name in FIG15_KERNELS
+        for model in (MARIONETTE_PE, MARIONETTE_AGILE)
+    ]
+
+
 def run(scale: str = "small", seed: int = 0,
-        params: ArchParams = DEFAULT_PARAMS) -> ExperimentResult:
-    context = SuiteContext.get(scale, seed, params)
-    base = MarionetteModel(
-        params, control_network=False, agile=False, name="Marionette PE"
-    )
-    agile = MarionetteModel(
-        params, control_network=False, agile=True,
-        name="Marionette PE + Agile PE Assignment",
-    )
+        params: ArchParams = DEFAULT_PARAMS,
+        engine: Optional[Engine] = None) -> ExperimentResult:
+    table = execute_specs(specs(scale, seed, params), engine)
+    context = SuiteContext(scale, seed, params, engine)
     result = ExperimentResult(
         experiment="Figure 15",
         title="Outer-BB PE utilization and pipeline utilization",
@@ -42,8 +54,12 @@ def run(scale: str = "small", seed: int = 0,
     pipe_gains = []
     for name in FIG15_KERNELS:
         run_ = context.run_of(get_workload(name))
-        base_result = base.simulate(run_.kernel)
-        agile_result = agile.simulate(run_.kernel)
+        base_result = table.result(
+            RunSpec(name, scale, seed, MARIONETTE_PE, params)
+        )
+        agile_result = table.result(
+            RunSpec(name, scale, seed, MARIONETTE_AGILE, params)
+        )
         outer_orig = outer_bb_utilization(
             run_.kernel, base_result, params, agile=False
         )

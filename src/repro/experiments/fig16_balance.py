@@ -8,28 +8,38 @@ distinguished by how much of the control flow can be hidden in pipelines.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 from repro.arch.params import ArchParams, DEFAULT_PARAMS
-from repro.baselines import MarionetteModel
+from repro.engine.executor import Engine
+from repro.engine.spec import RunSpec
 from repro.workloads import get_workload
-from repro.experiments.common import ExperimentResult, SuiteContext
+from repro.experiments.common import (
+    MARIONETTE_AGILE,
+    MARIONETTE_CN,
+    MARIONETTE_PE,
+    ExperimentResult,
+    execute_specs,
+)
 
 #: paper order: network-optimised group, then pipeline-optimised group
 FIG16_ORDER = ("ms", "adpcm", "crc", "ldpc", "nw", "fft", "vi", "ht",
                "scd", "gemm")
 
 
+def specs(scale: str = "small", seed: int = 0,
+          params: ArchParams = DEFAULT_PARAMS) -> List[RunSpec]:
+    return [
+        RunSpec(name, scale, seed, model, params)
+        for name in FIG16_ORDER
+        for model in (MARIONETTE_PE, MARIONETTE_CN, MARIONETTE_AGILE)
+    ]
+
+
 def run(scale: str = "small", seed: int = 0,
-        params: ArchParams = DEFAULT_PARAMS) -> ExperimentResult:
-    context = SuiteContext.get(scale, seed, params)
-    base = MarionetteModel(
-        params, control_network=False, agile=False, name="Marionette PE"
-    )
-    with_network = MarionetteModel(
-        params, control_network=True, agile=False, name="+CN"
-    )
-    with_agile = MarionetteModel(
-        params, control_network=False, agile=True, name="+Agile"
-    )
+        params: ArchParams = DEFAULT_PARAMS,
+        engine: Optional[Engine] = None) -> ExperimentResult:
+    table = execute_specs(specs(scale, seed, params), engine)
     result = ExperimentResult(
         experiment="Figure 16",
         title="Control network speedup vs Agile PE Assignment speedup",
@@ -39,10 +49,15 @@ def run(scale: str = "small", seed: int = 0,
                     "CRC LDPC); Agile helps regular ones (VI HT SCD GEMM)",
     )
     for name in FIG16_ORDER:
-        run_ = context.run_of(get_workload(name))
-        base_cycles = base.simulate(run_.kernel).cycles
-        network_gain = base_cycles / with_network.simulate(run_.kernel).cycles
-        agile_gain = base_cycles / with_agile.simulate(run_.kernel).cycles
+        base_cycles = table.cycles(
+            RunSpec(name, scale, seed, MARIONETTE_PE, params)
+        )
+        network_gain = base_cycles / table.cycles(
+            RunSpec(name, scale, seed, MARIONETTE_CN, params)
+        )
+        agile_gain = base_cycles / table.cycles(
+            RunSpec(name, scale, seed, MARIONETTE_AGILE, params)
+        )
         network_pct = 100.0 * (network_gain - 1.0)
         agile_pct = 100.0 * (agile_gain - 1.0)
         if agile_pct > 2 * network_pct:
@@ -52,7 +67,7 @@ def run(scale: str = "small", seed: int = 0,
         else:
             dominant = "balanced"
         result.rows.append({
-            "kernel": run_.workload.short,
+            "kernel": get_workload(name).short,
             "network_speedup_pct": network_pct,
             "agile_speedup_pct": agile_pct,
             "dominant": dominant,

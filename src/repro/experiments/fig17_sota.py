@@ -10,30 +10,49 @@ TIA (longer pipeline II).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.arch.params import ArchParams, DEFAULT_PARAMS
-from repro.baselines import (
-    MarionetteModel,
-    RevelModel,
-    RipTideModel,
-    SoftbrainModel,
-    TIAModel,
-)
+from repro.engine.executor import Engine
+from repro.engine.spec import RunSpec
 from repro.perf.speedup import geomean
-from repro.experiments.common import ExperimentResult, SuiteContext
+from repro.workloads import (
+    ALL_WORKLOADS,
+    INTENSIVE_WORKLOADS,
+    NON_INTENSIVE_WORKLOADS,
+)
+from repro.experiments.common import (
+    MARIONETTE,
+    REVEL,
+    RIPTIDE,
+    SOFTBRAIN,
+    TIA,
+    ExperimentResult,
+    execute_specs,
+)
+
+_MODELS = {
+    "softbrain": SOFTBRAIN,
+    "tia": TIA,
+    "revel": REVEL,
+    "riptide": RIPTIDE,
+    "marionette": MARIONETTE,
+}
+
+
+def specs(scale: str = "small", seed: int = 0,
+          params: ArchParams = DEFAULT_PARAMS) -> List[RunSpec]:
+    return [
+        RunSpec(w.short.lower(), scale, seed, model, params)
+        for w in ALL_WORKLOADS
+        for model in _MODELS.values()
+    ]
 
 
 def run(scale: str = "small", seed: int = 0,
-        params: ArchParams = DEFAULT_PARAMS) -> ExperimentResult:
-    context = SuiteContext.get(scale, seed, params)
-    models = {
-        "softbrain": SoftbrainModel(params),
-        "tia": TIAModel(params),
-        "revel": RevelModel(params),
-        "riptide": RipTideModel(params),
-        "marionette": MarionetteModel(params),
-    }
+        params: ArchParams = DEFAULT_PARAMS,
+        engine: Optional[Engine] = None) -> ExperimentResult:
+    table = execute_specs(specs(scale, seed, params), engine)
     result = ExperimentResult(
         experiment="Figure 17",
         title="vs state-of-the-art architectures "
@@ -44,26 +63,27 @@ def run(scale: str = "small", seed: int = 0,
                     "Softbrain / TIA / REVEL / RipTide on intensive kernels",
     )
     cycles_by_kernel: Dict[str, Dict[str, int]] = {}
-    for run_ in context.all():
+    for workload in ALL_WORKLOADS:
+        short = workload.short.lower()
         cycles = {
-            name: model.simulate(run_.kernel).cycles
-            for name, model in models.items()
+            name: table.cycles(RunSpec(short, scale, seed, model, params))
+            for name, model in _MODELS.items()
         }
-        cycles_by_kernel[run_.workload.short] = cycles
+        cycles_by_kernel[workload.short] = cycles
         base = cycles["softbrain"]
         result.rows.append({
-            "kernel": run_.workload.short,
-            "group": run_.workload.group,
+            "kernel": workload.short,
+            "group": workload.group,
             **{name: base / c for name, c in cycles.items()},
         })
 
-    intensive = [r.workload.short for r in context.intensive()]
+    intensive = [w.short for w in INTENSIVE_WORKLOADS]
     for rival in ("softbrain", "tia", "revel", "riptide"):
         result.summary[f"geomean speedup vs {rival}"] = geomean([
             cycles_by_kernel[k][rival] / cycles_by_kernel[k]["marionette"]
             for k in intensive
         ])
-    non_intensive = [r.workload.short for r in context.non_intensive()]
+    non_intensive = [w.short for w in NON_INTENSIVE_WORKLOADS]
     result.summary["geomean vs best rival (non-intensive)"] = geomean([
         min(
             cycles_by_kernel[k][r]

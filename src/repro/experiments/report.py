@@ -2,13 +2,20 @@
 
 ``python -m repro.experiments.report [scale]`` regenerates all tables and
 figures in one pass (the content recorded in EXPERIMENTS.md).
+
+:func:`run_all` collects the :class:`RunSpec` batches of every experiment
+first and executes them through one engine, so the nine figures share every
+functional trace and — with ``repro bench --jobs N`` — run their model
+evaluations in parallel before the tables are assembled serially in paper
+order.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Callable, List
+from typing import List, Optional
 
+from repro.engine.executor import Engine, default_engine
 from repro.experiments import (
     fig11_pe_models,
     fig12_control_network,
@@ -22,29 +29,58 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentResult
 
+#: Every experiment module, in paper order.
+EXPERIMENT_MODULES = (
+    fig11_pe_models,
+    fig12_control_network,
+    fig13_network_scaling,
+    fig14_agile,
+    fig15_utilization,
+    fig16_balance,
+    fig17_sota,
+    table4_area,
+    table6_network_area,
+)
 
-def run_all(scale: str = "small", seed: int = 0) -> List[ExperimentResult]:
+
+def all_specs(scale: str = "small", seed: int = 0) -> List:
+    """The union of every experiment's run specs (deduplicated in order)."""
+    seen = set()
+    specs = []
+    for module in EXPERIMENT_MODULES:
+        for spec in module.specs(scale, seed):
+            if spec not in seen:
+                seen.add(spec)
+                specs.append(spec)
+    return specs
+
+
+def run_all(scale: str = "small", seed: int = 0,
+            engine: Optional[Engine] = None) -> List[ExperimentResult]:
     """Every table and figure of the evaluation, in paper order."""
+    engine = engine or default_engine()
+    engine.execute(all_specs(scale, seed))  # one batch: parallel + cached
     return [
-        fig11_pe_models.run(scale, seed),
-        fig12_control_network.run(scale, seed),
-        fig13_network_scaling.run(),
-        fig14_agile.run(scale, seed),
-        fig15_utilization.run(scale, seed),
-        fig16_balance.run(scale, seed),
-        fig17_sota.run(scale, seed),
-        table4_area.run(),
-        table6_network_area.run(),
+        fig11_pe_models.run(scale, seed, engine=engine),
+        fig12_control_network.run(scale, seed, engine=engine),
+        fig13_network_scaling.run(engine=engine),
+        fig14_agile.run(scale, seed, engine=engine),
+        fig15_utilization.run(scale, seed, engine=engine),
+        fig16_balance.run(scale, seed, engine=engine),
+        fig17_sota.run(scale, seed, engine=engine),
+        table4_area.run(engine=engine),
+        table6_network_area.run(engine=engine),
     ]
 
 
-def render_report(scale: str = "small", seed: int = 0) -> str:
+def render_report(scale: str = "small", seed: int = 0,
+                  engine: Optional[Engine] = None) -> str:
     sections = [
         "# Marionette evaluation report",
         f"(workload scale: {scale}, seed: {seed})",
         "",
     ]
-    for result in run_all(scale, seed):
+    for result in run_all(scale, seed, engine=engine):
         sections.append(result.to_table())
         sections.append("")
     return "\n".join(sections)

@@ -6,12 +6,23 @@ reproduces the published totals (0.151 mm^2, 152.09 mW).
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 from repro.arch.params import ArchParams, DEFAULT_PARAMS
+from repro.engine.executor import Engine
+from repro.engine.spec import RunSpec
 from repro.perf.area import table4_rows
 from repro.experiments.common import ExperimentResult
 
 
-def run(params: ArchParams = DEFAULT_PARAMS) -> ExperimentResult:
+def specs(scale: str = "small", seed: int = 0,
+          params: ArchParams = DEFAULT_PARAMS) -> List[RunSpec]:
+    """Analytic experiment: no workload simulations required."""
+    return []
+
+
+def run(params: ArchParams = DEFAULT_PARAMS,
+        engine: Optional[Engine] = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment="Table 4",
         title="Area and power breakdown (28 nm)",

@@ -9,12 +9,23 @@ the computing fabric, versus 47-76% for the other architectures.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 from repro.arch.params import ArchParams, DEFAULT_PARAMS
+from repro.engine.executor import Engine
+from repro.engine.spec import RunSpec
 from repro.perf.area import table6_rows
 from repro.experiments.common import ExperimentResult
 
 
-def run(params: ArchParams = DEFAULT_PARAMS) -> ExperimentResult:
+def specs(scale: str = "small", seed: int = 0,
+          params: ArchParams = DEFAULT_PARAMS) -> List[RunSpec]:
+    """Analytic experiment: no workload simulations required."""
+    return []
+
+
+def run(params: ArchParams = DEFAULT_PARAMS,
+        engine: Optional[Engine] = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment="Table 6",
         title="Network area vs computing fabric (28 nm, 32-bit, 4x4)",

@@ -98,6 +98,39 @@ class DynamicTrace:
             return 0.0
         return sum(r.count for r in runs) / len(runs)
 
+    # ------------------------------------------------------------------
+    # Serialization (the engine's on-disk trace cache)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe image of a *finished* trace."""
+        return {
+            "kernel": self.kernel,
+            "runs": [[r.block, r.count] for r in self.runs],
+            "exec_counts": {
+                str(b): n for b, n in sorted(self.exec_counts.items())
+            },
+            "edge_counts": [
+                [src, dst, n]
+                for (src, dst), n in sorted(self.edge_counts.items())
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "DynamicTrace":
+        """Inverse of :meth:`to_payload`."""
+        trace = cls(str(payload["kernel"]))
+        trace.runs = [
+            Run(int(block), int(count)) for block, count in payload["runs"]
+        ]
+        trace.exec_counts = {
+            int(b): int(n) for b, n in dict(payload["exec_counts"]).items()
+        }
+        trace.edge_counts = {
+            (int(src), int(dst)): int(n)
+            for src, dst, n in payload["edge_counts"]
+        }
+        return trace
+
     def validate(self) -> None:
         """Internal consistency: runs must sum to exec counts."""
         per_block: Dict[BlockId, int] = {}

@@ -49,7 +49,13 @@ class SimulationResult:
         for array_id, (aname, base, length) in program.array_table.items():
             if aname == name:
                 return self.scratchpad.dump_array(base, length)
-        raise SimulationError(f"array {name!r} not in program table")
+        available = sorted(
+            aname for aname, _base, _length in program.array_table.values()
+        )
+        raise SimulationError(
+            f"array {name!r} not in program table "
+            f"(available: {', '.join(available) or 'none'})"
+        )
 
 
 class ArraySimulator:

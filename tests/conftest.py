@@ -9,6 +9,14 @@ from repro.arch.params import ArchParams
 from repro.ir.builder import KernelBuilder
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the tests/golden/*.json experiment snapshots "
+             "instead of comparing against them",
+    )
+
+
 @pytest.fixture
 def params() -> ArchParams:
     return ArchParams()

@@ -42,8 +42,13 @@ class TestArraySimulatorErrors:
         sim = ArraySimulator(params, program)
         sim.load_array("x", [1, 2, 3, 4])
         result = sim.run(halt_messages=999)
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError) as excinfo:
             result.array_out(program, "nope")
+        # The error names the array and lists what *is* declared.
+        message = str(excinfo.value)
+        assert "'nope'" in message
+        assert "available" in message
+        assert "x" in message and "o" in message
 
     def test_max_cycles_cutoff(self, params):
         program = _tiny_program(params)
