@@ -11,7 +11,14 @@ Registered engine benchmarks:
 
 * ``test_engine_speedup.py`` — asserts the warm-cache (+parallel) report
   run beats the serial seed path, using the session-scoped
-  ``engine_cache_dir`` below as its on-disk cache.
+  ``engine_cache_dir`` below as its on-disk cache;
+* ``test_shard_lane.py`` — the sharded CI lane example: the ablation
+  sweep split ``--shard 1/2`` / ``2/2`` against one shared cache,
+  exports merged and checked byte-identical against the unsharded
+  golden run;
+* ``test_streaming_latency.py`` — asserts streaming mode's
+  time-to-first-result beats batch mode's time-to-completion on a cold
+  engine.
 
 Every benchmark prints its figure/table rows, so
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the full evaluation.

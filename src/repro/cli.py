@@ -4,24 +4,38 @@ Commands:
 
 * ``report [--scale S]`` — regenerate every table/figure;
 * ``bench [--scale S] [--seed N] [--jobs N] [--cache-dir PATH]
-  [--format ascii|json|csv]`` — the full report through the parallel
-  experiment engine, with on-disk trace caching and machine-readable
-  exports (the JSON export carries the engine's run statistics);
+  [--format ascii|json|csv] [--stream] [--shard K/N]
+  [--export-shard PATH] [--merge-shards PATH...]`` — the full report
+  through the parallel experiment engine, with on-disk trace caching,
+  machine-readable exports, streaming per-spec progress, and
+  fingerprint-prefix sharding across CI jobs (shard runs emit a
+  mergeable export; ``--merge-shards`` reassembles the canonical
+  report, byte-identical to an unsharded run);
+* ``cache stats|prune --cache-dir PATH`` — cache administration: size,
+  entry counts, per-run hit rates from the persisted run log; pruning
+  by age, stale engine version, or size budget;
 * ``experiment NAME [--scale S]`` — one experiment (fig11..fig17,
   table4, table6, ablations);
 * ``workloads [--scale S]`` — run + verify the benchmark suite, printing
   each kernel's control flow profile (Table 1 / Table 5 view);
 * ``simulate KERNEL [--scale S]`` — price one kernel on every
   architecture model.
+
+``bench`` report documents (all three formats) carry only content, so
+batch, ``--stream``, warm-cache, and shard-merged runs are
+byte-identical; diagnostics go to stderr, the cache run log, and the
+opt-in ``--stats`` JSON field.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List
 
 from repro.arch.params import DEFAULT_PARAMS
+from repro.errors import ReproError
 from repro.baselines import (
     DataflowModel,
     IdealModel,
@@ -49,24 +63,219 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.engine import Engine, report_csv, report_json
-    from repro.experiments.report import render_report, run_all
+def _progress_line(done: int, total: int, run_result) -> str:
+    spec = run_result.spec
+    label = spec.model.label or spec.model.model
+    origin = "cache" if run_result.cached else "computed"
+    return (f"[{done}/{total}] {spec.workload}@{spec.scale} "
+            f"seed={spec.seed} {label}: {run_result.cycles} cycles "
+            f"({origin})")
 
-    engine = Engine(cache_dir=args.cache_dir, jobs=args.jobs)
+
+def _emit_report(results, args) -> None:
+    from repro.engine import report_csv, report_json
+    from repro.experiments.report import render_results
+
     if args.format == "ascii":
-        print(render_report(args.scale, args.seed, engine=engine))
-        return 0
-    results = run_all(args.scale, args.seed, engine=engine)
-    if args.format == "json":
+        print(render_results(results, args.scale, args.seed))
+    elif args.format == "json":
+        stats = args.engine.stats.as_dict() if args.stats else None
         print(report_json(
-            results,
-            stats=engine.stats.as_dict(),
-            meta={"scale": args.scale, "seed": args.seed,
-                  "jobs": args.jobs},
+            results, stats=stats,
+            meta={"scale": args.scale, "seed": args.seed},
         ))
     else:
         print(report_csv(results))
+
+
+def _finish_bench_run(engine, args, **context) -> None:
+    """Per-run bookkeeping: persist stats, warn on an oversized cache."""
+    from repro.engine.cache_admin import size_budget_bytes, usage
+
+    engine.record_run(command="bench", scale=args.scale, seed=args.seed,
+                      jobs=args.jobs, **context)
+    if engine.cache.persistent:
+        # stat()-only walk: this runs on every bench invocation, so it
+        # must not JSON-parse the whole cache like `repro cache stats`.
+        entries, total_bytes = usage(engine.cache.root)
+        budget_bytes = size_budget_bytes()
+        if total_bytes > budget_bytes:
+            budget_mb = budget_bytes / (1024 * 1024)
+            size_mb = total_bytes / (1024 * 1024)
+            print(
+                f"warning: cache {engine.cache.root} holds "
+                f"{size_mb:.1f} MiB across {entries} entries, over "
+                f"the {budget_mb:.0f} MiB budget — reclaim space with "
+                f"'repro cache prune --cache-dir {engine.cache.root} "
+                f"--max-size-mb {budget_mb:.0f}'",
+                file=sys.stderr,
+            )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.engine import (
+        Engine,
+        merge_shard_documents,
+        parse_shard,
+        read_shard_export,
+        shard_export_document,
+        shard_specs,
+        write_shard_export,
+    )
+    from repro.experiments.report import all_specs, run_all, stream_all
+
+    if args.shard and args.merge_shards:
+        print("error: --shard and --merge-shards are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.export_shard and not args.shard:
+        print("error: --export-shard requires --shard", file=sys.stderr)
+        return 2
+    if args.shard and (args.format is not None or args.stats):
+        print("error: --format/--stats have no effect with --shard — a "
+              "shard run emits a shard export, not a report",
+              file=sys.stderr)
+        return 2
+    if args.merge_shards and args.stream:
+        print("error: --stream has no effect with --merge-shards — the "
+              "merge replays cached records, nothing runs",
+              file=sys.stderr)
+        return 2
+    if args.merge_shards and (args.scale is not None
+                              or args.seed is not None):
+        print("error: --scale/--seed have no effect with --merge-shards "
+              "— the exports name the sweep they came from",
+              file=sys.stderr)
+        return 2
+    args.format = args.format or "ascii"
+    args.scale = args.scale or "small"
+    args.seed = 0 if args.seed is None else args.seed
+    if args.stats and args.format != "json":
+        print("error: --stats attaches engine_stats to the JSON "
+              "document — it requires --format json", file=sys.stderr)
+        return 2
+
+    engine = Engine(cache_dir=args.cache_dir, jobs=args.jobs)
+    args.engine = engine
+
+    if args.merge_shards:
+        documents = [read_shard_export(path) for path in args.merge_shards]
+        merged = merge_shard_documents(documents)
+        # The exports name the sweep they came from; explicit
+        # --scale/--seed were rejected above.
+        args.scale, args.seed = merged["scale"], merged["seed"]
+        engine.cache.preload(merged["entries"])
+        results = run_all(args.scale, args.seed, engine=engine)
+        if engine.stats.traces_computed or engine.stats.simulations:
+            print(
+                f"warning: shard exports were incomplete — recomputed "
+                f"{engine.stats.traces_computed} traces and "
+                f"{engine.stats.simulations} simulations locally",
+                file=sys.stderr,
+            )
+        _emit_report(results, args)
+        _finish_bench_run(engine, args, merged_shards=len(documents))
+        return 0
+
+    def progress(done: int, total: int, run_result) -> None:
+        print(_progress_line(done, total, run_result), file=sys.stderr)
+
+    if args.shard:
+        index, count = parse_shard(args.shard)
+        specs = shard_specs(all_specs(args.scale, args.seed), index, count)
+        if args.stream:
+            for done, (_i, run_result) in enumerate(
+                    engine.stream(specs), 1):
+                progress(done, len(specs), run_result)
+        else:
+            engine.execute(specs)
+        # A cycle-warm run never reads traces; pull them in so the
+        # export is complete and the merge recomputes nothing.
+        engine.prefetch_traces(specs)
+        document = shard_export_document(
+            engine, scale=args.scale, seed=args.seed, shard=(index, count)
+        )
+        if args.export_shard:
+            write_shard_export(args.export_shard, document)
+        else:
+            print(json.dumps(document, sort_keys=True))
+        print(
+            f"shard {index}/{count}: {len(specs)} specs, "
+            f"{len(document['entries'])} cache records"
+            + (f" -> {args.export_shard}" if args.export_shard else ""),
+            file=sys.stderr,
+        )
+        _finish_bench_run(engine, args, shard=f"{index}/{count}")
+        return 0
+
+    if args.stream:
+        results = stream_all(args.scale, args.seed, engine=engine,
+                             on_result=progress)
+    else:
+        results = run_all(args.scale, args.seed, engine=engine)
+    _emit_report(results, args)
+    _finish_bench_run(engine, args)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine.cache_admin import collect_stats, prune
+
+    if args.cache_command == "stats":
+        stats = collect_stats(args.cache_dir, budget_mb=args.budget_mb)
+        size_mb = stats.total_bytes / (1024 * 1024)
+        budget_mb = stats.budget_bytes / (1024 * 1024)
+        kinds = ", ".join(
+            f"{kind}: {count}" for kind, count in sorted(stats.by_kind.items())
+        ) or "empty"
+        versions = ", ".join(
+            f"v{version}: {count}"
+            for version, count in sorted(
+                stats.by_version.items(), key=lambda item: str(item[0])
+            )
+        ) or "-"
+        print(f"cache {stats.root}")
+        print(f"  entries: {stats.entries} ({kinds})")
+        print(f"  size: {stats.total_bytes} bytes ({size_mb:.2f} MiB), "
+              f"budget {budget_mb:.0f} MiB"
+              + (" [OVER BUDGET]" if stats.over_budget else ""))
+        print(f"  engine versions: {versions}")
+        print(f"  runs logged: {len(stats.runs)}")
+        if stats.runs:
+            informative = stats.last_informative_run()
+            record, rate = (informative if informative is not None
+                            else (stats.runs[-1], None))
+            rate_text = f"{100.0 * rate:.1f}%" if rate is not None else "n/a"
+            print(f"  last run: {record.get('command', '?')} "
+                  f"scale={record.get('scale', '?')} hit rate {rate_text}")
+            aggregate = stats.aggregate_hit_rate
+            if aggregate is not None:
+                print(f"  aggregate hit rate: {100.0 * aggregate:.1f}%")
+        if stats.over_budget:
+            print(
+                f"warning: cache exceeds its {budget_mb:.0f} MiB budget; "
+                f"reclaim space with 'repro cache prune --cache-dir "
+                f"{stats.root} --max-size-mb {budget_mb:.0f}'",
+                file=sys.stderr,
+            )
+        return 0
+
+    # prune
+    max_size_bytes = (int(args.max_size_mb * 1024 * 1024)
+                      if args.max_size_mb is not None else None)
+    report = prune(
+        args.cache_dir,
+        max_age_days=args.max_age_days,
+        stale_versions=args.drop_stale_versions,
+        max_size_bytes=max_size_bytes,
+    )
+    reasons = ", ".join(
+        f"{reason}: {count}" for reason, count in sorted(report.reasons.items())
+    )
+    print(f"pruned {report.removed} of {report.examined} entries "
+          f"({report.removed_bytes} bytes)"
+          + (f" [{reasons}]" if reasons else ""))
+    print(f"kept {report.kept} entries ({report.kept_bytes} bytes)")
     return 0
 
 
@@ -169,16 +378,57 @@ def main(argv: List[str] = None) -> int:
     p_bench = sub.add_parser(
         "bench", help="full report through the parallel experiment engine"
     )
-    p_bench.add_argument("--scale", default="small",
+    p_bench.add_argument("--scale", default=None,
                          choices=("tiny", "small", "paper"))
-    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--seed", type=int, default=None)
     p_bench.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = serial)")
     p_bench.add_argument("--cache-dir", default=None,
                          help="on-disk trace/result cache directory")
-    p_bench.add_argument("--format", default="ascii",
+    p_bench.add_argument("--format", default=None,
                          choices=("ascii", "json", "csv"))
+    p_bench.add_argument("--stream", action="store_true",
+                         help="emit per-spec progress to stderr as workers "
+                              "finish (the report itself is unchanged)")
+    p_bench.add_argument("--shard", default=None, metavar="K/N",
+                         help="run only the K-th of N fingerprint-prefix "
+                              "shards and emit a mergeable shard export")
+    p_bench.add_argument("--export-shard", default=None, metavar="PATH",
+                         help="write the shard export here instead of "
+                              "stdout (requires --shard)")
+    p_bench.add_argument("--merge-shards", nargs="+", default=None,
+                         metavar="PATH",
+                         help="reassemble shard exports into the "
+                              "canonical report (no recomputation)")
+    p_bench.add_argument("--stats", action="store_true",
+                         help="attach engine_stats to the JSON document "
+                              "(off by default so reports stay "
+                              "byte-identical across cache states)")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_cache = sub.add_parser("cache", help="cache administration")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cstats = cache_sub.add_parser(
+        "stats", help="entry counts, size vs budget, per-run hit rates"
+    )
+    p_cstats.add_argument("--cache-dir", required=True)
+    p_cstats.add_argument("--budget-mb", type=float, default=None,
+                          help="size budget for the warning threshold "
+                               "(default: $REPRO_CACHE_BUDGET_MB or 512)")
+    p_cstats.set_defaults(fn=_cmd_cache)
+    p_cprune = cache_sub.add_parser(
+        "prune", help="delete records by age, stale version, or size budget"
+    )
+    p_cprune.add_argument("--cache-dir", required=True)
+    p_cprune.add_argument("--max-age-days", type=float, default=None,
+                          help="drop records older than this many days")
+    p_cprune.add_argument("--drop-stale-versions", action="store_true",
+                          help="drop records from other engine versions "
+                               "(and unreadable files)")
+    p_cprune.add_argument("--max-size-mb", type=float, default=None,
+                          help="evict oldest records until the cache "
+                               "fits this budget")
+    p_cprune.set_defaults(fn=_cmd_cache)
 
     p_exp = sub.add_parser("experiment", help="one table/figure")
     p_exp.add_argument("name", choices=_EXPERIMENTS)
@@ -198,7 +448,14 @@ def main(argv: List[str] = None) -> int:
     p_sim.set_defaults(fn=_cmd_simulate)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        # Package errors (bad shard selector, malformed export, worker
+        # failure, unknown kernel) are user-facing diagnostics, not
+        # tracebacks — match the exit code of the argparse-level errors.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

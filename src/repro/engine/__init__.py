@@ -3,12 +3,17 @@
 Layers (bottom up):
 
 * :mod:`repro.engine.spec` — declarative :class:`RunSpec`/:class:`ModelSpec`
-  enumeration of the (workload, scale, seed, model, params) space;
+  enumeration of the (workload, scale, seed, model, params) space, spec
+  fingerprints, and fingerprint-prefix sharding;
 * :mod:`repro.engine.cache` — content-addressed on-disk cache for
-  functional traces and cycle results;
-* :mod:`repro.engine.executor` — the :class:`Engine`: batch execution with
-  multiprocessing, deterministic result ordering, and run statistics;
-* :mod:`repro.engine.export` — JSON/CSV report exports.
+  functional traces and cycle results, plus the per-run statistics log;
+* :mod:`repro.engine.cache_admin` — cache inventory, statistics, and
+  pruning (the ``repro cache`` subcommand);
+* :mod:`repro.engine.executor` — the :class:`Engine`: batch execution
+  (:meth:`Engine.execute`) and streaming execution (:meth:`Engine.stream`)
+  with multiprocessing, deterministic result ordering, and run statistics;
+* :mod:`repro.engine.export` — JSON/CSV report exports and shard
+  export/merge documents.
 
 See ``docs/ENGINE.md`` for the cache layout and the CLI surface.
 """
@@ -21,8 +26,24 @@ from repro.engine.executor import (
     default_engine,
     set_default_engine,
 )
-from repro.engine.export import report_csv, report_json, result_payload
-from repro.engine.spec import MODEL_REGISTRY, ModelSpec, RunResult, RunSpec
+from repro.engine.export import (
+    merge_shard_documents,
+    read_shard_export,
+    report_csv,
+    report_json,
+    result_payload,
+    shard_export_document,
+    write_shard_export,
+)
+from repro.engine.spec import (
+    MODEL_REGISTRY,
+    ModelSpec,
+    RunResult,
+    RunSpec,
+    parse_shard,
+    shard_of,
+    shard_specs,
+)
 
 __all__ = [
     "ENGINE_VERSION",
@@ -36,8 +57,15 @@ __all__ = [
     "TraceCache",
     "default_engine",
     "fingerprint",
+    "merge_shard_documents",
+    "parse_shard",
+    "read_shard_export",
     "report_csv",
     "report_json",
     "result_payload",
     "set_default_engine",
+    "shard_export_document",
+    "shard_of",
+    "shard_specs",
+    "write_shard_export",
 ]

@@ -4,30 +4,63 @@ Every record is addressed by the SHA-256 of its canonical-JSON key — the
 key spells out everything the record depends on (workload name, scale,
 seed, architecture parameters, model identity, engine version), so a
 change to any input lands on a different address and stale records are
-simply never read again.  Records are JSON files under
-``<root>/<hh>/<hash>.json`` (two-level fan-out), written atomically via a
-temp file + rename so concurrent worker processes can share one
-directory.
+simply never read again.  Records are JSON *envelopes*
+``{"key": ..., "payload": ...}`` under ``<root>/<hh>/<hash>.json``
+(two-level fan-out): the embedded key makes the store introspectable, so
+:mod:`repro.engine.cache_admin` can report per-kind statistics and prune
+by age, engine version, or size budget without guessing what a file is.
+Writes go through a temp file + rename so concurrent worker processes can
+share one directory.
 
-The cache also keeps an in-memory layer, making it usable as the engine's
-process-local memo when no directory is configured.
+The cache also keeps an in-memory layer (digest -> payload), making it
+usable as the engine's process-local memo when no directory is
+configured; :meth:`TraceCache.snapshot` / :meth:`TraceCache.preload`
+expose that layer so shard exports can ship a run's working set to a
+merge step on another machine.
+
+Alongside the records, a persistent cache keeps an append-only run log
+(``runs.jsonl``): one JSON line per engine run with its hit/miss
+counters, which ``repro cache stats`` turns into per-run and aggregate
+hit rates.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
+
+try:                              # POSIX-only; the lock degrades to a
+    import fcntl                  # best-effort no-op elsewhere
+except ImportError:               # pragma: no cover
+    fcntl = None
 
 from repro.arch.params import ArchParams
 
 #: Bump to invalidate every cached record (trace format or any execution
-#: model changed in a result-affecting way).
-ENGINE_VERSION = 1
+#: model changed in a result-affecting way).  v2: records became
+#: ``{"key", "payload"}`` envelopes — v1 caches held raw payloads at the
+#: same addresses, which the envelope check would silently treat as
+#: misses; the bump moves every key to a fresh address and lets
+#: ``repro cache prune --drop-stale-versions`` reclaim the old files.
+ENGINE_VERSION = 2
+
+#: Append-only per-run statistics log kept next to the records.
+RUN_LOG_NAME = "runs.jsonl"
+
+#: Compact the run log once it grows past this size...
+RUN_LOG_MAX_BYTES = 1 << 20
+
+#: ...keeping only this many newest records, so a long-lived shared
+#: cache directory's log stays bounded (the records themselves are the
+#: cache; the log is diagnostics).
+RUN_LOG_KEEP = 256
 
 
 def params_token(params: ArchParams) -> Dict[str, object]:
@@ -69,10 +102,13 @@ class TraceCache:
             path = self._path(digest)
             try:
                 with open(path, "r", encoding="utf-8") as handle:
-                    payload = json.load(handle)
+                    record = json.load(handle)
             except (OSError, json.JSONDecodeError):
-                payload = None
-            if payload is not None:
+                record = None
+            # Only well-formed envelopes count; anything else (corrupt
+            # file, foreign JSON) is a miss and gets recomputed.
+            if isinstance(record, dict) and "payload" in record:
+                payload = record["payload"]
                 self._memory[digest] = payload
                 self.disk_hits += 1
                 return payload
@@ -92,7 +128,7 @@ class TraceCache:
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+                json.dump({"key": dict(key), "payload": payload}, handle)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -100,3 +136,111 @@ class TraceCache:
             except OSError:
                 pass
             raise
+
+    # -- working-set transfer (shard exports) --------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Everything this cache holds in memory, as digest -> payload.
+
+        After an engine run this is exactly the run's working set: every
+        trace and cycle record it computed *or* read.  A shard export is
+        this dict plus identifying metadata.
+        """
+        return dict(self._memory)
+
+    def preload(self, entries: Mapping[str, object]) -> None:
+        """Seed the memory layer with digest -> payload entries.
+
+        Content addressing does the matching: a later :meth:`get` whose
+        key hashes to a preloaded digest is a memory hit, so a merge step
+        can replay a report assembly without recomputing anything.
+        """
+        self._memory.update(entries)
+
+    # -- per-run statistics log -----------------------------------------
+    @property
+    def run_log_path(self) -> Optional[Path]:
+        return self.root / RUN_LOG_NAME if self.root is not None else None
+
+    def record_run(self, record: Mapping[str, object]) -> None:
+        """Append one run record to ``runs.jsonl`` (persistent only).
+
+        The log self-compacts to its newest :data:`RUN_LOG_KEEP` records
+        once it exceeds :data:`RUN_LOG_MAX_BYTES`, so it cannot become
+        its own unbounded-growth footgun on a long-lived shared cache.
+        """
+        if self.root is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {"time": time.time()}
+        entry.update(record)
+        with self._run_log_lock():
+            with open(self.run_log_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            try:
+                oversized = (self.run_log_path.stat().st_size
+                             > RUN_LOG_MAX_BYTES)
+            except OSError:
+                return
+            if oversized:
+                self._compact_run_log()
+
+    @contextlib.contextmanager
+    def _run_log_lock(self) -> Iterator[None]:
+        """Serialize run-log mutations across processes.
+
+        Compaction replaces the file, so appends must not interleave with
+        it — parallel shard lanes sharing one cache directory would lose
+        records.  The lock lives on a side file that is never replaced
+        (locking ``runs.jsonl`` itself would pin a stale inode).
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.root / (RUN_LOG_NAME + ".lock")
+        with open(lock_path, "w", encoding="utf-8") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _compact_run_log(self) -> None:
+        """Rewrite the run log keeping only the newest records (atomic)."""
+        try:
+            lines = self.run_log_path.read_text(
+                encoding="utf-8"
+            ).splitlines()
+        except OSError:
+            return
+        kept = lines[-RUN_LOG_KEEP:]
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".jsonl"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write("".join(line + "\n" for line in kept))
+            os.replace(tmp, self.run_log_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def read_run_log(self) -> List[Dict[str, object]]:
+        """Every recorded run, oldest first (malformed lines skipped)."""
+        if self.root is None:
+            return []
+        try:
+            lines = self.run_log_path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return []
+        records = []
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records

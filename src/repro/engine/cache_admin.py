@@ -1,0 +1,303 @@
+"""Cache administration: inventory, statistics, and pruning.
+
+``repro bench --cache-dir`` grows without bound by design — records are
+content-addressed and never overwritten, so every new scale, seed,
+parameter point, or engine version adds files forever.  This module is
+the counterweight, backing the ``repro cache`` CLI:
+
+* :func:`scan` reads every record envelope (the key is stored next to
+  the payload, see :mod:`repro.engine.cache`) into
+  :class:`CacheEntry` rows;
+* :func:`collect_stats` aggregates them — entry counts by kind and
+  engine version, total size, a size-budget verdict, and per-run /
+  aggregate hit rates from the ``runs.jsonl`` run log;
+* :func:`prune` deletes records by age, by stale engine version, or down
+  to a size budget (oldest records first).  Pruning only ever removes
+  whole records, so every surviving entry remains a byte-identical cache
+  hit afterwards.
+
+The default size budget (:data:`DEFAULT_BUDGET_MB`, overridable via the
+``REPRO_CACHE_BUDGET_MB`` environment variable) is a *warning* threshold,
+not an enforcement mechanism: ``repro bench`` and ``repro cache stats``
+flag a cache that has outgrown it and point at ``repro cache prune``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.cache import ENGINE_VERSION, TraceCache
+
+#: Default cache size budget, in MiB, before warnings fire.
+DEFAULT_BUDGET_MB = 512.0
+
+#: Environment override for the budget (a float, in MiB).
+BUDGET_ENV = "REPRO_CACHE_BUDGET_MB"
+
+
+def size_budget_bytes(budget_mb: Optional[float] = None) -> int:
+    """The configured budget in bytes (argument > env var > default)."""
+    if budget_mb is None:
+        raw = os.environ.get(BUDGET_ENV)
+        try:
+            budget_mb = float(raw) if raw is not None else DEFAULT_BUDGET_MB
+        except ValueError:
+            budget_mb = DEFAULT_BUDGET_MB
+    return int(budget_mb * 1024 * 1024)
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk record, as the admin tooling sees it."""
+
+    path: Path
+    digest: str
+    kind: str                  # "trace" | "cycles" | "unknown"
+    version: Optional[int]     # engine version, None when unreadable
+    workload: Optional[str]
+    size: int                  # bytes
+    mtime: float
+
+
+def scan(root: os.PathLike) -> List[CacheEntry]:
+    """Every record under ``root``, oldest first (stable order).
+
+    Unreadable or foreign files under the fan-out become ``kind
+    "unknown"`` entries, so they are visible in stats and reclaimable by
+    pruning; the run log and in-flight temp files are not records and
+    are skipped.
+    """
+    root = Path(root)
+    entries: List[CacheEntry] = []
+    if not root.is_dir():
+        return entries
+    for path in root.glob("??/*.json"):
+        if path.name.startswith(".tmp-"):
+            continue
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        kind, version, workload = "unknown", None, None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            key = record["key"]
+            kind = str(key.get("kind", "unknown"))
+            version = key.get("version")
+            workload = key.get("workload")
+        except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                AttributeError):
+            pass
+        entries.append(CacheEntry(
+            path=path, digest=path.stem, kind=kind, version=version,
+            workload=workload, size=stat.st_size, mtime=stat.st_mtime,
+        ))
+    entries.sort(key=lambda e: (e.mtime, e.digest))
+    return entries
+
+
+def usage(root: os.PathLike) -> Tuple[int, int]:
+    """(record count, total bytes) by ``stat()`` alone.
+
+    The per-run size-budget warning in ``repro bench`` fires on every
+    invocation, so it must not pay :func:`scan`'s cost of JSON-parsing
+    the whole cache just to sum file sizes.
+    """
+    root = Path(root)
+    entries = total = 0
+    if not root.is_dir():
+        return 0, 0
+    for path in root.glob("??/*.json"):
+        if path.name.startswith(".tmp-"):
+            continue
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue
+        entries += 1
+        total += size
+    return entries, total
+
+
+def _counters(stats: Dict[str, object]) -> Optional[Tuple[int, int]]:
+    """(cache hits, computed work) of one run's counters, or None.
+
+    Memo re-reads within a single engine say nothing about cache warmth
+    and are excluded.  None means the record is malformed — per-run and
+    aggregate rates must both skip it whole.
+    """
+    try:
+        hits = int(stats["trace_cache_hits"]) + int(stats["sim_cache_hits"])
+        work = int(stats["traces_computed"]) + int(stats["simulations"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return hits, work
+
+
+def hit_rate(stats: Dict[str, object]) -> Optional[float]:
+    """Cache hit rate of one run's counters (None when it did nothing)."""
+    counters = _counters(stats)
+    if counters is None:
+        return None
+    hits, work = counters
+    total = hits + work
+    return hits / total if total else None
+
+
+@dataclass
+class CacheStats:
+    """Aggregate view of one cache directory."""
+
+    root: Path
+    entries: int = 0
+    total_bytes: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    by_version: Dict[Optional[int], int] = field(default_factory=dict)
+    budget_bytes: int = 0
+    runs: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def over_budget(self) -> bool:
+        return self.total_bytes > self.budget_bytes
+
+    def last_informative_run(self
+                             ) -> Optional[Tuple[Dict[str, object], float]]:
+        """Newest run whose counters yield a hit rate, with that rate.
+
+        Runs that did no work (e.g. ``repro bench --shard`` of an empty
+        shard) say nothing about cache warmth and are skipped.
+        """
+        for record in reversed(self.runs):
+            rate = hit_rate(record.get("stats", {}))
+            if rate is not None:
+                return record, rate
+        return None
+
+    @property
+    def last_run_hit_rate(self) -> Optional[float]:
+        informative = self.last_informative_run()
+        return informative[1] if informative is not None else None
+
+    @property
+    def aggregate_hit_rate(self) -> Optional[float]:
+        hits = work = 0
+        for record in self.runs:
+            counters = _counters(record.get("stats", {}))
+            if counters is None:
+                continue
+            hits += counters[0]
+            work += counters[1]
+        total = hits + work
+        return hits / total if total else None
+
+
+def collect_stats(root: os.PathLike,
+                  budget_mb: Optional[float] = None) -> CacheStats:
+    """Scan ``root`` and fold the record table + run log into stats."""
+    stats = CacheStats(root=Path(root),
+                       budget_bytes=size_budget_bytes(budget_mb))
+    for entry in scan(root):
+        stats.entries += 1
+        stats.total_bytes += entry.size
+        stats.by_kind[entry.kind] = stats.by_kind.get(entry.kind, 0) + 1
+        stats.by_version[entry.version] = (
+            stats.by_version.get(entry.version, 0) + 1
+        )
+    stats.runs = TraceCache(root).read_run_log()
+    return stats
+
+
+@dataclass
+class PruneReport:
+    """What one :func:`prune` pass did."""
+
+    examined: int = 0
+    removed: int = 0
+    removed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    reasons: Dict[str, int] = field(default_factory=dict)
+
+    def _count(self, reason: str, entry: CacheEntry) -> None:
+        self.removed += 1
+        self.removed_bytes += entry.size
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
+
+
+def prune(root: os.PathLike, *,
+          max_age_days: Optional[float] = None,
+          stale_versions: bool = False,
+          max_size_bytes: Optional[int] = None,
+          now: Optional[float] = None) -> PruneReport:
+    """Delete records by age, stale engine version, and/or size budget.
+
+    Filters compose: age and version filters run first, then the size
+    budget evicts the oldest survivors until the cache fits
+    ``max_size_bytes``.  Unreadable ("unknown") records count as stale
+    under the version filter — they can never be hits.  Each surviving
+    record is untouched, so its content address (and therefore its hit
+    behaviour) is exactly as before the prune.
+    """
+    report = PruneReport()
+    survivors: List[CacheEntry] = []
+    reference = time.time() if now is None else now
+    for entry in scan(root):
+        report.examined += 1
+        if stale_versions and entry.version != ENGINE_VERSION:
+            reason = ("unreadable" if entry.kind == "unknown"
+                      else "stale-version")
+        elif (max_age_days is not None
+                and reference - entry.mtime > max_age_days * 86400.0):
+            reason = "expired"
+        else:
+            survivors.append(entry)
+            continue
+        _remove(entry)
+        report._count(reason, entry)
+
+    if max_size_bytes is not None:
+        total = sum(entry.size for entry in survivors)
+        kept: List[CacheEntry] = []
+        # ``survivors`` is oldest-first (scan order): evict from the
+        # front until the rest fits the budget.
+        for position, entry in enumerate(survivors):
+            if total > max_size_bytes:
+                _remove(entry)
+                report._count("size-budget", entry)
+                total -= entry.size
+            else:
+                kept = survivors[position:]
+                break
+        else:
+            kept = []
+        survivors = kept
+
+    report.kept = len(survivors)
+    report.kept_bytes = sum(entry.size for entry in survivors)
+    _sweep_empty_fanout(Path(root))
+    return report
+
+
+def _remove(entry: CacheEntry) -> None:
+    try:
+        entry.path.unlink()
+    except OSError:
+        pass
+
+
+def _sweep_empty_fanout(root: Path) -> None:
+    """Drop fan-out directories emptied by a prune (best effort)."""
+    if not root.is_dir():
+        return
+    for child in root.iterdir():
+        if child.is_dir() and len(child.name) == 2:
+            try:
+                child.rmdir()          # only succeeds when empty
+            except OSError:
+                pass

@@ -11,28 +11,47 @@ deterministic lists of :class:`~repro.engine.spec.RunResult`:
 * **cycle results** are cached under the full spec identity (params +
   model + engine version), so re-running a report with a warm cache does
   no model evaluation either;
-* with ``jobs > 1`` both phases fan out over a ``multiprocessing`` pool;
-  results are reassembled in spec order, so parallel and serial runs are
-  indistinguishable downstream.
+* :meth:`Engine.execute` is the throughput mode: with ``jobs > 1`` both
+  phases fan out over a ``multiprocessing`` pool, chunked so each worker
+  builds as few kernel instances as possible; results are reassembled in
+  spec order, so parallel and serial runs are indistinguishable
+  downstream;
+* :meth:`Engine.stream` is the latency mode: it yields ``(index,
+  RunResult)`` pairs *as workers finish* — a spec is simulated the moment
+  its trace lands instead of behind a whole-batch trace barrier — and
+  every input position is yielded exactly once, so callers can reassemble
+  the deterministic spec order for reports.
 
 :attr:`Engine.stats` counts what actually ran — ``traces_computed`` is the
-number of workload functional simulations this engine performed, the
-counter the warm-cache acceptance check reads from the JSON export.
+number of workload functional simulations this engine performed.  With a
+persistent cache, :meth:`Engine.record_run` appends those counters to the
+cache's run log, where ``repro cache stats`` turns them into hit rates.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.baselines.base import CycleResult, KernelInstance
-from repro.engine.cache import (
-    ENGINE_VERSION,
-    TraceCache,
-    params_token,
+from repro.engine.cache import TraceCache
+from repro.engine.spec import (
+    ModelSpec,
+    RunResult,
+    RunSpec,
+    trace_cache_key,
 )
-from repro.engine.spec import ModelSpec, RunResult, RunSpec
+from repro.errors import EngineError
 from repro.ir.trace import DynamicTrace
 from repro.workloads import Workload, WorkloadInstance, get_workload
 
@@ -74,7 +93,7 @@ class KernelRun:
 
 @dataclass
 class EngineStats:
-    """What one engine actually computed (exposed in the JSON export)."""
+    """What one engine actually computed (persisted to the run log)."""
 
     traces_computed: int = 0   # workload functional simulations performed
     trace_cache_hits: int = 0  # traces served from the on-disk cache
@@ -102,9 +121,12 @@ _WORKER_KERNELS: Dict[TraceKey, KernelInstance] = {}
 def _trace_job(key: TraceKey) -> Tuple[TraceKey, dict]:
     """Interpret one workload, verify it, return its trace payload."""
     short, scale, seed = key
-    instance = get_workload(short).instance(scale, seed=seed)
-    instance.check()
-    return key, instance.run().trace.to_payload()
+    try:
+        instance = get_workload(short).instance(scale, seed=seed)
+        instance.check()
+        return key, instance.run().trace.to_payload()
+    except Exception as error:
+        raise _trace_error(key, error) from error
 
 
 def _init_sim_worker(traces: Dict[TraceKey, dict]) -> None:
@@ -120,22 +142,69 @@ def _kernel_from_payload(key: TraceKey, payload: dict) -> KernelInstance:
     return KernelInstance(cdfg, DynamicTrace.from_payload(payload))
 
 
-def _sim_job(item: Tuple[int, RunSpec]) -> Tuple[int, dict]:
-    """Price one spec against its (worker-memoised) kernel instance."""
-    index, spec = item
+def _simulate_with_memo(spec: RunSpec, trace_payload: dict) -> dict:
+    """Price one spec, memoising its kernel instance per worker."""
     key = spec.trace_key()
     kernel = _WORKER_KERNELS.get(key)
     if kernel is None:
-        kernel = _kernel_from_payload(key, _WORKER_TRACES[key])
+        kernel = _kernel_from_payload(key, trace_payload)
         _WORKER_KERNELS[key] = kernel
-    model = spec.model.build(spec.params)
-    return index, model.simulate(kernel).to_payload()
+    return spec.model.build(spec.params).simulate(kernel).to_payload()
+
+
+def _sim_job(item: Tuple[int, RunSpec]) -> Tuple[int, dict]:
+    """Batch-mode pricing: traces come from worker initializer state."""
+    index, spec = item
+    try:
+        return index, _simulate_with_memo(
+            spec, _WORKER_TRACES[spec.trace_key()]
+        )
+    except Exception as error:
+        raise _sim_error(spec, error) from error
+
+
+def _stream_sim_chunk(specs: Sequence[RunSpec],
+                      trace_payload: dict) -> List[dict]:
+    """Streaming-mode pricing: the trace rides along with the task.
+
+    Streaming submits simulations the moment a trace lands, before a
+    batch-wide trace table exists, so the payload is an argument instead
+    of worker initializer state.  One task carries a *chunk* of the
+    trace's specs so the payload is pickled at most once per worker, not
+    once per parameter point.
+    """
+    results = []
+    for spec in specs:
+        try:
+            results.append(_simulate_with_memo(spec, trace_payload))
+        except Exception as error:
+            raise _sim_error(spec, error) from error
+    return results
 
 
 def _pool_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _trace_error(key: TraceKey, error: BaseException) -> EngineError:
+    if isinstance(error, EngineError):   # already named its spec
+        return error
+    short, scale, seed = key
+    return EngineError(
+        f"functional trace for workload={short!r} scale={scale!r} "
+        f"seed={seed} failed: {error}"
+    )
+
+
+def _sim_error(spec: RunSpec, error: BaseException) -> EngineError:
+    if isinstance(error, EngineError):   # already named its spec
+        return error
+    return EngineError(
+        f"simulation of {spec.workload!r} @ {spec.scale!r} seed={spec.seed} "
+        f"on model {spec.model.model!r} failed: {error}"
     )
 
 
@@ -155,54 +224,50 @@ class Engine:
         self._kernel_runs: Dict[TraceKey, KernelRun] = {}
         self._cycles: Dict[RunSpec, CycleResult] = {}
 
-    # -- cache keys ------------------------------------------------------
-    @staticmethod
-    def _trace_cache_key(key: TraceKey) -> Dict[str, object]:
-        short, scale, seed = key
-        return {
-            "kind": "trace", "version": ENGINE_VERSION,
-            "workload": short, "scale": scale, "seed": seed,
-        }
-
-    @staticmethod
-    def _cycles_cache_key(spec: RunSpec) -> Dict[str, object]:
-        return {
-            "kind": "cycles", "version": ENGINE_VERSION,
-            "workload": spec.workload, "scale": spec.scale,
-            "seed": spec.seed, "model": spec.model.token(),
-            "params": params_token(spec.params),
-        }
-
     # -- traces ----------------------------------------------------------
+    def _compute_trace(self, key: TraceKey) -> None:
+        """Interpret + verify one workload in-process, cache the trace."""
+        short, scale, seed = key
+        try:
+            instance = get_workload(short).instance(scale, seed=seed)
+            instance.check()
+            payload = instance.run().trace.to_payload()
+        except EngineError:
+            raise
+        except Exception as error:
+            raise _trace_error(key, error) from error
+        self._instances[key] = instance
+        self._store_trace(key, payload)
+
+    def _store_trace(self, key: TraceKey, payload: dict) -> None:
+        self._trace_payloads[key] = payload
+        self.cache.put(trace_cache_key(*key), payload)
+        self.stats.traces_computed += 1
+
+    def _lookup_trace(self, key: TraceKey) -> bool:
+        """Pull one trace from the memo or cache; True when available."""
+        if key in self._trace_payloads:
+            return True
+        payload = self.cache.get(trace_cache_key(*key))
+        if payload is not None:
+            self.stats.trace_cache_hits += 1
+            self._trace_payloads[key] = payload
+            return True
+        return False
+
     def _ensure_traces(self, keys: Set[TraceKey]) -> None:
-        missing: List[TraceKey] = []
-        for key in sorted(keys):
-            if key in self._trace_payloads:
-                continue
-            payload = self.cache.get(self._trace_cache_key(key))
-            if payload is not None:
-                self.stats.trace_cache_hits += 1
-                self._trace_payloads[key] = payload
-                continue
-            missing.append(key)
+        missing = [k for k in sorted(keys) if not self._lookup_trace(k)]
         if not missing:
             return
         if self.jobs > 1 and len(missing) > 1:
             ctx = _pool_context()
             with ctx.Pool(min(self.jobs, len(missing))) as pool:
                 computed = list(pool.imap_unordered(_trace_job, missing))
+            for key, payload in computed:
+                self._store_trace(key, payload)
         else:
-            computed = []
             for key in missing:
-                short, scale, seed = key
-                instance = get_workload(short).instance(scale, seed=seed)
-                instance.check()
-                self._instances[key] = instance
-                computed.append((key, instance.run().trace.to_payload()))
-        for key, payload in computed:
-            self._trace_payloads[key] = payload
-            self.cache.put(self._trace_cache_key(key), payload)
-        self.stats.traces_computed += len(missing)
+                self._compute_trace(key)
 
     def _kernel(self, key: TraceKey) -> KernelInstance:
         if key not in self._kernels:
@@ -234,18 +299,30 @@ class Engine:
         return self._kernel_runs[key]
 
     # -- cycle results ---------------------------------------------------
+    def _lookup_cycles(self, spec: RunSpec) -> Tuple[Optional[CycleResult],
+                                                     bool]:
+        """(cached result or None, whether it came from this engine's
+        memo rather than the cross-run cache)."""
+        cached = self._cycles.get(spec)
+        if cached is not None:
+            return cached, True
+        payload = self.cache.get(spec.cache_key())
+        if payload is not None:
+            cached = CycleResult.from_payload(payload)
+            self._cycles[spec] = cached
+            return cached, False
+        return None, False
+
+    def _store_cycles(self, spec: RunSpec, outcome: CycleResult) -> None:
+        self._cycles[spec] = outcome
+        self.cache.put(spec.cache_key(), outcome.to_payload())
+
     def execute(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Run every spec; results come back in spec order."""
         results: List[Optional[RunResult]] = [None] * len(specs)
         pending: Dict[RunSpec, List[int]] = {}
         for index, spec in enumerate(specs):
-            cached = self._cycles.get(spec)
-            from_memo = cached is not None
-            if cached is None:
-                payload = self.cache.get(self._cycles_cache_key(spec))
-                if payload is not None:
-                    cached = CycleResult.from_payload(payload)
-                    self._cycles[spec] = cached
+            cached, from_memo = self._lookup_cycles(spec)
             if cached is not None:
                 # Memo re-reads within this engine (run_all prefetches,
                 # then each experiment looks its specs up again) are not
@@ -287,20 +364,182 @@ class Engine:
             else:
                 outcomes = []
                 for spec in order:
-                    model = spec.model.build(spec.params)
-                    outcomes.append(
-                        model.simulate(self._kernel(spec.trace_key()))
-                    )
+                    try:
+                        model = spec.model.build(spec.params)
+                        outcomes.append(
+                            model.simulate(self._kernel(spec.trace_key()))
+                        )
+                    except Exception as error:
+                        raise _sim_error(spec, error) from error
             self.stats.simulations += len(order)
             for spec, outcome in zip(order, outcomes):
-                self._cycles[spec] = outcome
-                self.cache.put(
-                    self._cycles_cache_key(spec), outcome.to_payload()
-                )
+                self._store_cycles(spec, outcome)
                 for index in pending[spec]:
                     results[index] = RunResult(spec, outcome, cached=False)
 
         return list(results)
+
+    # -- streaming -------------------------------------------------------
+    def stream(self, specs: Sequence[RunSpec]
+               ) -> Iterator[Tuple[int, RunResult]]:
+        """Yield ``(index, result)`` pairs as results become available.
+
+        Every input position is yielded exactly once (duplicates of one
+        spec share a single simulation but each position still gets its
+        pair); cached specs come first, in index order, then computed
+        specs in completion order.  Unlike :meth:`execute`, a spec is
+        priced the moment its trace lands — there is no batch-wide trace
+        barrier — so time-to-first-result is one trace plus one worker's
+        chunk of model evaluations, not the whole batch.  Collect and index-sort the
+        pairs to recover the deterministic :meth:`execute` ordering.
+
+        A failing worker raises :class:`~repro.errors.EngineError` naming
+        the spec; records already completed are in the cache (writes are
+        atomic and per-record), so a crashed stream never corrupts it.
+        """
+        pending: Dict[RunSpec, List[int]] = {}
+        for index, spec in enumerate(specs):
+            cached, from_memo = self._lookup_cycles(spec)
+            if cached is not None:
+                if from_memo:
+                    self.stats.sim_memo_hits += 1
+                else:
+                    self.stats.sim_cache_hits += 1
+                yield index, RunResult(spec, cached, cached=True)
+            else:
+                pending.setdefault(spec, []).append(index)
+        if not pending:
+            return
+
+        groups: Dict[TraceKey, List[RunSpec]] = {}
+        for spec in pending:
+            groups.setdefault(spec.trace_key(), []).append(spec)
+        ready = [key for key in sorted(groups) if self._lookup_trace(key)]
+        missing = [key for key in sorted(groups)
+                   if key not in self._trace_payloads]
+
+        if self.jobs > 1 and len(pending) > 1:
+            yield from self._stream_parallel(groups, ready, missing, pending)
+            return
+        for key in ready + missing:
+            if key not in self._trace_payloads:
+                self._compute_trace(key)
+            kernel = self._kernel(key)
+            for spec in groups[key]:
+                try:
+                    outcome = spec.model.build(spec.params).simulate(kernel)
+                except Exception as error:
+                    raise _sim_error(spec, error) from error
+                self.stats.simulations += 1
+                self._store_cycles(spec, outcome)
+                for index in pending[spec]:
+                    yield index, RunResult(spec, outcome, cached=False)
+
+    def _stream_parallel(self, groups: Dict[TraceKey, List[RunSpec]],
+                         ready: List[TraceKey], missing: List[TraceKey],
+                         pending: Dict[RunSpec, List[int]]
+                         ) -> Iterator[Tuple[int, RunResult]]:
+        workers = min(self.jobs, len(pending) + len(missing))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            trace_futures: Dict[object, TraceKey] = {}
+            sim_futures: Dict[object, List[RunSpec]] = {}
+
+            def submit_sims(key: TraceKey) -> List[object]:
+                # Split the trace's specs over the workers: parallelism
+                # is preserved, but the trace payload is pickled per
+                # chunk, not per parameter point.
+                payload = self._trace_payloads[key]
+                specs = groups[key]
+                size = -(-len(specs) // min(len(specs), workers))
+                submitted = []
+                for start in range(0, len(specs), size):
+                    chunk = specs[start:start + size]
+                    future = pool.submit(_stream_sim_chunk, chunk, payload)
+                    sim_futures[future] = chunk
+                    submitted.append(future)
+                return submitted
+
+            outstanding = set()
+            for key in missing:
+                future = pool.submit(_trace_job, key)
+                trace_futures[future] = key
+                outstanding.add(future)
+            for key in ready:
+                outstanding.update(submit_sims(key))
+
+            try:
+                while outstanding:
+                    done, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        error = future.exception()
+                        if future in trace_futures:
+                            key = trace_futures[future]
+                            if error is not None:
+                                raise _trace_error(key, error) from error
+                            _key, payload = future.result()
+                            self._store_trace(key, payload)
+                            outstanding.update(submit_sims(key))
+                        else:
+                            chunk = sim_futures[future]
+                            if error is not None:
+                                # Worker-side failures are already
+                                # EngineErrors naming their spec;
+                                # anything else (a broken pool) gets the
+                                # chunk's first spec as context.
+                                raise _sim_error(chunk[0], error) \
+                                    from error
+                            for spec, payload in zip(chunk,
+                                                     future.result()):
+                                outcome = CycleResult.from_payload(
+                                    payload
+                                )
+                                self.stats.simulations += 1
+                                self._store_cycles(spec, outcome)
+                                for index in pending[spec]:
+                                    yield index, RunResult(
+                                        spec, outcome, cached=False
+                                    )
+            except BaseException:
+                # Drop queued work so the pool tears down promptly; the
+                # cache stays valid (completed records were written
+                # atomically, nothing else was).
+                for future in trace_futures:
+                    future.cancel()
+                for future in sim_futures:
+                    future.cancel()
+                raise
+
+    # -- working-set completeness (shard exports) ------------------------
+    def prefetch_traces(self, specs: Sequence[RunSpec]) -> None:
+        """Pull every spec's trace into this engine's working set.
+
+        A warm persistent cache satisfies cycle lookups without ever
+        reading traces, so a shard export built from such a run would be
+        missing the trace records the merged report reads.  Touching each
+        distinct trace key here (cache hit, or compute as a last resort)
+        makes the export self-contained regardless of cache warmth.
+        """
+        for key in sorted({spec.trace_key() for spec in specs}):
+            if not self._lookup_trace(key):
+                self._compute_trace(key)
+
+    # -- run accounting --------------------------------------------------
+    def record_run(self, **context: object) -> None:
+        """Persist this engine's counters to the cache run log.
+
+        ``context`` (command, scale, seed, jobs, shard, ...) is stored
+        alongside the :class:`EngineStats` so ``repro cache stats`` can
+        attribute hit rates to runs.  No-op without a persistent cache.
+        """
+        if not self.cache.persistent:
+            return
+        record = dict(context)
+        record["stats"] = self.stats.as_dict()
+        self.cache.record_run(record)
 
 
 # ----------------------------------------------------------------------

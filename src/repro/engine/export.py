@@ -1,10 +1,21 @@
-"""Machine-readable experiment exports (JSON / CSV).
+"""Machine-readable experiment exports (JSON / CSV), and shard exports.
 
 The ASCII tables of :class:`~repro.experiments.common.ExperimentResult`
 are for reading; these exporters are for diffing and post-processing —
-the golden-result regression tests snapshot the JSON form, and
-``repro bench --format json`` attaches the engine statistics so a warm
-cache run can prove it re-simulated nothing.
+the golden-result regression tests snapshot the JSON form.  The report
+documents carry only *content* (scale, seed, experiment payloads), never
+run-environment facts like job counts or cache-hit counters, so batch,
+streamed, warm-cache, and shard-merged invocations of ``repro bench``
+emit byte-identical output (engine statistics live in the cache run log
+and behind ``repro bench --stats``).
+
+A **shard export** is one ``repro bench --shard K/N`` run's working set
+— every content-addressed record the run computed or read, digest ->
+payload — plus identifying metadata.  :func:`merge_shard_documents`
+validates that a set of exports belongs together (same scale, seed,
+engine version; shard indices covering ``1..N``) and unions the
+entries; preloading that union into a fresh engine's cache replays the
+canonical report assembly without recomputing anything.
 """
 
 from __future__ import annotations
@@ -12,9 +23,17 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.engine import cache as _cache
+from repro.errors import EngineError
+
+#: Shard export file format marker / version.
+SHARD_FORMAT = "repro-shard-export"
+SHARD_FORMAT_VERSION = 1
 
 
 def _plain(value: object) -> object:
@@ -58,6 +77,112 @@ def report_json(results: Sequence, *, stats: Optional[Dict[str, int]] = None,
         document["engine_stats"] = dict(stats)
     document["experiments"] = [result_payload(r) for r in results]
     return json.dumps(document, indent=indent, sort_keys=False)
+
+
+def shard_export_document(engine, *, scale: str, seed: int,
+                          shard: Optional[Tuple[int, int]] = None
+                          ) -> Dict[str, object]:
+    """One engine run's working set as a mergeable shard export."""
+    return {
+        "format": SHARD_FORMAT,
+        "format_version": SHARD_FORMAT_VERSION,
+        "engine_version": _cache.ENGINE_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "shard": list(shard) if shard is not None else None,
+        "stats": engine.stats.as_dict(),
+        "entries": engine.cache.snapshot(),
+    }
+
+
+def write_shard_export(path, document: Dict[str, object]) -> None:
+    Path(path).write_text(
+        json.dumps(document, sort_keys=True), encoding="utf-8"
+    )
+
+
+def read_shard_export(path) -> Dict[str, object]:
+    """Load + validate one shard export file."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise EngineError(f"unreadable shard export {path}: {error}") \
+            from error
+    if not isinstance(document, dict) \
+            or document.get("format") != SHARD_FORMAT:
+        raise EngineError(f"{path} is not a repro shard export")
+    if document.get("format_version") != SHARD_FORMAT_VERSION:
+        raise EngineError(
+            f"{path}: shard export format version "
+            f"{document.get('format_version')!r} not supported "
+            f"(expected {SHARD_FORMAT_VERSION})"
+        )
+    if document.get("engine_version") != _cache.ENGINE_VERSION:
+        raise EngineError(
+            f"{path}: recorded with engine version "
+            f"{document.get('engine_version')!r}, this build is "
+            f"{_cache.ENGINE_VERSION} — re-run the shards"
+        )
+    missing = [name for name in ("scale", "seed", "entries")
+               if name not in document]
+    problem = None
+    if missing:
+        problem = f"missing {', '.join(missing)}"
+    elif not isinstance(document["entries"], dict):
+        problem = "entries is not a digest -> payload table"
+    elif not isinstance(document["scale"], str) \
+            or not isinstance(document["seed"], int):
+        problem = "scale/seed are not a string/integer"
+    elif document.get("shard") is not None and not (
+            isinstance(document["shard"], list)
+            and len(document["shard"]) == 2
+            and all(isinstance(v, int) for v in document["shard"])):
+        problem = f"shard coordinates {document.get('shard')!r} are " \
+                  f"not a [K, N] pair"
+    if problem is not None:
+        raise EngineError(f"{path}: malformed shard export — {problem}")
+    return document
+
+
+def merge_shard_documents(documents: Sequence[Dict[str, object]]
+                          ) -> Dict[str, object]:
+    """Union a consistent, complete set of shard exports.
+
+    Entries are content-addressed, so the union is conflict-free by
+    construction; what can go wrong is humans mixing files, which is
+    what the validation targets: every export must share one
+    (scale, seed), and when shard coordinates are present they must use
+    one shard count and cover every index ``1..N`` exactly once.
+    """
+    if not documents:
+        raise EngineError("no shard exports to merge")
+    scale_seed = {(doc["scale"], doc["seed"]) for doc in documents}
+    if len(scale_seed) != 1:
+        raise EngineError(
+            f"shard exports disagree on (scale, seed): "
+            f"{sorted(scale_seed)}"
+        )
+    shards = [tuple(doc["shard"]) for doc in documents
+              if doc.get("shard") is not None]
+    if shards:
+        counts = {count for _index, count in shards}
+        if len(counts) != 1:
+            raise EngineError(
+                f"shard exports disagree on shard count: {sorted(counts)}"
+            )
+        count = counts.pop()
+        indices = sorted(index for index, _count in shards)
+        if indices != list(range(1, count + 1)):
+            raise EngineError(
+                f"shard exports cover shards {indices} of {count} — "
+                f"need each of 1..{count} exactly once"
+            )
+    entries: Dict[str, object] = {}
+    for document in documents:
+        entries.update(document["entries"])
+    (scale, seed), = scale_seed
+    return {"scale": scale, "seed": seed, "shards": shards,
+            "entries": entries}
 
 
 def report_csv(results: Sequence) -> str:

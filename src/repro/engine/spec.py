@@ -7,14 +7,23 @@ keyword options).  Specs are frozen, hashable, and picklable, so they can be
 deduplicated, used as cache keys, and shipped to worker processes — the
 experiments enumerate specs, the :class:`~repro.engine.executor.Engine`
 decides where and whether each one actually runs.
+
+A spec's full identity is its :meth:`RunSpec.cache_key` — the canonical
+JSON mapping the content-addressed cache hashes — and
+:meth:`RunSpec.fingerprint` is that hash.  The fingerprint doubles as the
+sharding coordinate: :func:`shard_specs` partitions a batch into ``N``
+disjoint, covering subsets by fingerprint prefix, so independent CI jobs
+can each run ``repro bench --shard K/N`` against one shared cache and a
+merge step can reassemble the canonical report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple, Type
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.arch.params import ArchParams
+from repro.engine import cache as _cache
 from repro.baselines import (
     ArchModel,
     CycleResult,
@@ -93,6 +102,15 @@ class ModelSpec:
         }
 
 
+def trace_cache_key(workload: str, scale: str,
+                    seed: int) -> Dict[str, object]:
+    """Cache key of one functional trace (parameter/model independent)."""
+    return {
+        "kind": "trace", "version": _cache.ENGINE_VERSION,
+        "workload": workload, "scale": scale, "seed": seed,
+    }
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One point of the evaluation space: workload x model x parameters."""
@@ -107,6 +125,82 @@ class RunSpec:
         """Identity of the functional trace this run replays (parameters
         and model do not affect functional execution)."""
         return (self.workload, self.scale, self.seed)
+
+    def cache_key(self) -> Dict[str, object]:
+        """Canonical-JSON identity of this spec's cycle result.
+
+        Spells out every input the result depends on — any change to the
+        workload, scale, seed, model (key, options, or label), any
+        architecture parameter, or the engine version lands on a
+        different content address.
+        """
+        return {
+            "kind": "cycles", "version": _cache.ENGINE_VERSION,
+            "workload": self.workload, "scale": self.scale,
+            "seed": self.seed, "model": self.model.token(),
+            "params": _cache.params_token(self.params),
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 content address of :meth:`cache_key` (also the
+        sharding coordinate)."""
+        return _cache.fingerprint(self.cache_key())
+
+
+# ----------------------------------------------------------------------
+# Fingerprint-prefix sharding
+# ----------------------------------------------------------------------
+#: Hex digits of the fingerprint used as the shard coordinate.  8 digits
+#: (32 bits) keeps the modulus uniform for any sane shard count while
+#: staying stable if the digest tail ever changes representation.
+SHARD_PREFIX_HEX = 8
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``K/N`` shard selector into (index, count), 1-based.
+
+    ``1/3`` is the first of three shards.  Raises
+    :class:`~repro.errors.ConfigurationError` on malformed input.
+    """
+    parts = str(text).split("/")
+    if len(parts) != 2:
+        raise ConfigurationError(
+            f"shard selector {text!r} is not of the form K/N"
+        )
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ConfigurationError(
+            f"shard selector {text!r} is not of the form K/N"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise ConfigurationError(
+            f"shard selector {text!r} out of range (need 1 <= K <= N)"
+        )
+    return index, count
+
+
+def shard_of(spec: "RunSpec", count: int) -> int:
+    """This spec's 0-based shard assignment among ``count`` shards.
+
+    Derived from the fingerprint prefix, so the partition is a pure
+    function of spec content: every machine agrees on it without
+    coordination, and it is independent of batch ordering.
+    """
+    return int(spec.fingerprint()[:SHARD_PREFIX_HEX], 16) % count
+
+
+def shard_specs(specs: Sequence["RunSpec"], index: int,
+                count: int) -> List["RunSpec"]:
+    """The ``index``/``count`` (1-based) shard of a spec batch, in order.
+
+    The ``1/N .. N/N`` shards of one batch are disjoint and cover it.
+    """
+    if count < 1 or not 1 <= index <= count:
+        raise ConfigurationError(
+            f"shard {index}/{count} out of range (need 1 <= K <= N)"
+        )
+    return [s for s in specs if shard_of(s, count) == index - 1]
 
 
 @dataclass

@@ -51,3 +51,8 @@ class NetworkError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid architecture parameters."""
+
+
+class EngineError(ReproError):
+    """The experiment engine failed: a worker crashed mid-stream, or a
+    shard export is malformed / inconsistent with its merge partners."""

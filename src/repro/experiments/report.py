@@ -13,7 +13,7 @@ order.
 from __future__ import annotations
 
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.engine.executor import Engine, default_engine
 from repro.experiments import (
@@ -73,17 +73,42 @@ def run_all(scale: str = "small", seed: int = 0,
     ]
 
 
-def render_report(scale: str = "small", seed: int = 0,
-                  engine: Optional[Engine] = None) -> str:
+def stream_all(scale: str = "small", seed: int = 0,
+               engine: Optional[Engine] = None,
+               on_result: Optional[Callable] = None
+               ) -> List[ExperimentResult]:
+    """:func:`run_all`, but through :meth:`Engine.stream`.
+
+    ``on_result(position, total, run_result)`` fires as each spec
+    finishes (completion order); the returned report is assembled from
+    the engine's memo afterwards and is identical to :func:`run_all`'s —
+    streaming changes *when* results surface, never *what* they are.
+    """
+    engine = engine or default_engine()
+    specs = all_specs(scale, seed)
+    for done, (index, run_result) in enumerate(engine.stream(specs), 1):
+        if on_result is not None:
+            on_result(done, len(specs), run_result)
+    return run_all(scale, seed, engine=engine)
+
+
+def render_results(results: List[ExperimentResult], scale: str,
+                   seed: int) -> str:
+    """The canonical ASCII report for an already-assembled result list."""
     sections = [
         "# Marionette evaluation report",
         f"(workload scale: {scale}, seed: {seed})",
         "",
     ]
-    for result in run_all(scale, seed, engine=engine):
+    for result in results:
         sections.append(result.to_table())
         sections.append("")
     return "\n".join(sections)
+
+
+def render_report(scale: str = "small", seed: int = 0,
+                  engine: Optional[Engine] = None) -> str:
+    return render_results(run_all(scale, seed, engine=engine), scale, seed)
 
 
 def main() -> None:  # pragma: no cover - console entry

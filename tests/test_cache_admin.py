@@ -1,0 +1,290 @@
+"""Cache-administration tests: stats, run-log hit rates, pruning.
+
+Pruning must be *surgical*: whatever policy removes records, every
+surviving record must remain a byte-identical cache hit — hit rates for
+survivors are untouched.  The default size budget only warns (the
+unbounded-growth footgun fix): nothing is deleted without an explicit
+``repro cache prune``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.arch.params import DEFAULT_PARAMS
+from repro.cli import main
+from repro.engine import Engine, ModelSpec, RunSpec, TraceCache
+from repro.engine.cache import ENGINE_VERSION
+from repro.engine.cache_admin import (
+    DEFAULT_BUDGET_MB,
+    collect_stats,
+    hit_rate,
+    prune,
+    scan,
+    size_budget_bytes,
+)
+
+VN = ModelSpec.make("von_neumann")
+MARIONETTE = ModelSpec.make("marionette")
+
+
+def _specs(scale: str = "tiny"):
+    return [
+        RunSpec(name, scale, 0, model, DEFAULT_PARAMS)
+        for name in ("gemm", "crc")
+        for model in (VN, MARIONETTE)
+    ]
+
+
+def _warm(tmp_path) -> Engine:
+    engine = Engine(cache_dir=tmp_path)
+    engine.execute(_specs())
+    return engine
+
+
+class TestStats:
+    def test_stats_on_missing_and_empty_cache(self, tmp_path):
+        missing = collect_stats(tmp_path / "never-created")
+        assert missing.entries == 0 and missing.total_bytes == 0
+        assert not missing.over_budget and missing.runs == []
+        empty = collect_stats(tmp_path)
+        assert empty.entries == 0
+
+    def test_stats_on_warm_cache(self, tmp_path):
+        _warm(tmp_path)
+        stats = collect_stats(tmp_path)
+        assert stats.by_kind == {"trace": 2, "cycles": 4}
+        assert stats.entries == 6
+        assert stats.total_bytes == sum(e.size for e in scan(tmp_path))
+        assert set(stats.by_version) == {ENGINE_VERSION}
+
+    def test_run_log_drives_hit_rates(self, tmp_path):
+        cold = _warm(tmp_path)
+        cold.record_run(command="test")
+        warm = Engine(cache_dir=tmp_path)
+        warm.execute(_specs())
+        warm.record_run(command="test")
+        stats = collect_stats(tmp_path)
+        assert len(stats.runs) == 2
+        assert hit_rate(stats.runs[0]["stats"]) == 0.0
+        assert stats.last_run_hit_rate == 1.0
+        assert 0.0 < stats.aggregate_hit_rate < 1.0
+
+    def test_run_log_is_not_a_cache_entry(self, tmp_path):
+        engine = _warm(tmp_path)
+        engine.record_run(command="test")
+        entries = scan(tmp_path)
+        assert all(entry.path.name != "runs.jsonl" for entry in entries)
+        assert collect_stats(tmp_path).entries == len(entries)
+
+    def test_hit_rate_of_idle_run_is_none(self):
+        assert hit_rate({"trace_cache_hits": 0, "sim_cache_hits": 0,
+                         "traces_computed": 0, "simulations": 0}) is None
+        assert hit_rate({}) is None
+
+
+class TestBudget:
+    def test_default_budget(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_BUDGET_MB", raising=False)
+        assert size_budget_bytes() == int(DEFAULT_BUDGET_MB * 1024 * 1024)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "1.5")
+        assert size_budget_bytes() == int(1.5 * 1024 * 1024)
+        monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "not-a-number")
+        assert size_budget_bytes() == int(DEFAULT_BUDGET_MB * 1024 * 1024)
+
+    def test_over_budget_is_a_warning_not_an_eviction(
+            self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "0.000001")
+        assert main(["bench", "--scale", "tiny", "--cache-dir",
+                     str(tmp_path), "--format", "csv"]) == 0
+        captured = capsys.readouterr()
+        assert "over the" in captured.err and "repro cache prune" \
+            in captured.err
+        # The warning changed nothing: every record is still there.
+        entries = scan(tmp_path)
+        assert len(entries) > 0
+        stats = collect_stats(tmp_path)
+        assert stats.over_budget
+
+    def test_within_budget_stays_quiet(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE_BUDGET_MB", raising=False)
+        assert main(["bench", "--scale", "tiny", "--cache-dir",
+                     str(tmp_path), "--format", "csv"]) == 0
+        assert "over the" not in capsys.readouterr().err
+
+
+class TestPrune:
+    def test_prune_by_age(self, tmp_path):
+        _warm(tmp_path)
+        entries = scan(tmp_path)
+        old = entries[: len(entries) // 2]
+        for entry in old:
+            os.utime(entry.path, (entry.mtime - 10 * 86400,
+                                  entry.mtime - 10 * 86400))
+        report = prune(tmp_path, max_age_days=5)
+        assert report.removed == len(old)
+        assert report.reasons == {"expired": len(old)}
+        assert report.kept == len(entries) - len(old)
+
+    def test_prune_to_size_evicts_oldest_first(self, tmp_path):
+        _warm(tmp_path)
+        entries = scan(tmp_path)
+        total = sum(entry.size for entry in entries)
+        budget = total - entries[0].size  # must evict exactly the oldest
+        report = prune(tmp_path, max_size_bytes=budget)
+        assert report.reasons["size-budget"] >= 1
+        assert sum(e.size for e in scan(tmp_path)) <= budget
+        survivors = {entry.digest for entry in scan(tmp_path)}
+        assert entries[0].digest not in survivors
+
+    def test_prune_to_zero_empties_the_cache(self, tmp_path):
+        _warm(tmp_path)
+        report = prune(tmp_path, max_size_bytes=0)
+        assert report.kept == 0
+        assert scan(tmp_path) == []
+
+    def test_prune_drops_stale_versions_and_unreadable(self, tmp_path):
+        _warm(tmp_path)
+        cache = TraceCache(tmp_path)
+        cache.put({"kind": "cycles", "version": 0, "probe": True},
+                  {"cycles": 1})
+        junk = tmp_path / "ab" / ("f" * 64 + ".json")
+        junk.parent.mkdir(exist_ok=True)
+        junk.write_text("{not json")
+        current = len(scan(tmp_path)) - 2
+        report = prune(tmp_path, stale_versions=True)
+        assert report.reasons == {"stale-version": 1, "unreadable": 1}
+        assert report.kept == current
+
+    def test_survivors_still_hit_after_prune(self, tmp_path):
+        """The acceptance property: pruning one policy's victims leaves
+        every surviving record a byte-identical hit."""
+        _warm(tmp_path)
+        # Age out the trace records only; the cycle records survive.
+        for entry in scan(tmp_path):
+            if entry.kind == "trace":
+                os.utime(entry.path, (entry.mtime - 10 * 86400,) * 2)
+        prune(tmp_path, max_age_days=5)
+
+        fresh = Engine(cache_dir=tmp_path)
+        results = fresh.execute(_specs())
+        assert all(run_result.cached for run_result in results)
+        assert fresh.stats.sim_cache_hits == len(_specs())
+        assert fresh.stats.simulations == 0
+        # Hit rate of the post-prune run is fully intact for survivors:
+        # every lookup that had a surviving record hit.
+        assert hit_rate(fresh.stats.as_dict()) == 1.0
+
+    def test_prune_roundtrip_then_repopulate(self, tmp_path):
+        """prune everything -> rerun -> stats and hits fully recover."""
+        first = _warm(tmp_path)
+        first.record_run(command="test")
+        prune(tmp_path, max_size_bytes=0)
+        rebuilt = Engine(cache_dir=tmp_path)
+        rebuilt.execute(_specs())
+        rebuilt.record_run(command="test")
+        stats = collect_stats(tmp_path)
+        assert stats.by_kind == {"trace": 2, "cycles": 4}
+        assert len(stats.runs) == 2          # the log survives pruning
+        warm = Engine(cache_dir=tmp_path)
+        warm.execute(_specs())
+        assert warm.stats.simulations == 0
+
+
+class TestCacheCli:
+    def test_stats_command_empty(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out and "runs logged: 0" in out
+
+    def test_stats_command_warm(self, tmp_path, capsys):
+        assert main(["bench", "--scale", "tiny", "--cache-dir",
+                     str(tmp_path), "--format", "csv"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out and "trace:" in out
+        assert "runs logged: 1" in out
+        assert "hit rate" in out
+
+    def test_stats_budget_flag(self, tmp_path, capsys):
+        assert main(["bench", "--scale", "tiny", "--cache-dir",
+                     str(tmp_path), "--format", "csv"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                     "--budget-mb", "0.000001"]) == 0
+        captured = capsys.readouterr()
+        assert "[OVER BUDGET]" in captured.out
+        assert "repro cache prune" in captured.err
+
+    def test_prune_command(self, tmp_path, capsys):
+        assert main(["bench", "--scale", "tiny", "--cache-dir",
+                     str(tmp_path), "--format", "csv"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-size-mb", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out and "kept 0 entries" in out
+
+    def test_warm_cache_proof_via_stats(self, tmp_path, capsys):
+        """The documented zero-recompute check: second bench run logs a
+        100% hit rate."""
+        for _ in range(2):
+            assert main(["bench", "--scale", "tiny", "--cache-dir",
+                         str(tmp_path), "--format", "csv"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "hit rate 100.0%" in capsys.readouterr().out
+
+
+class TestRunLogCompaction:
+    """runs.jsonl must not become its own unbounded-growth footgun."""
+
+    def test_log_self_compacts_to_newest_records(self, tmp_path,
+                                                 monkeypatch):
+        from repro.engine import cache as cache_module
+
+        monkeypatch.setattr(cache_module, "RUN_LOG_MAX_BYTES", 1024)
+        monkeypatch.setattr(cache_module, "RUN_LOG_KEEP", 8)
+        store = TraceCache(tmp_path)
+        for index in range(200):
+            store.record_run({"command": "bench", "index": index})
+        records = store.read_run_log()
+        # Bounded (well under 200 appends) and newest-surviving.
+        assert len(records) < 40
+        assert records[-1]["index"] == 199
+        indices = [r["index"] for r in records]
+        assert indices == sorted(indices)
+        assert store.run_log_path.stat().st_size <= 1024
+
+    def test_compaction_leaves_records_untouched(self, tmp_path,
+                                                 monkeypatch):
+        from repro.engine import cache as cache_module
+
+        engine = _warm(tmp_path)
+        before = {e.digest for e in scan(tmp_path)}
+        monkeypatch.setattr(cache_module, "RUN_LOG_MAX_BYTES", 64)
+        monkeypatch.setattr(cache_module, "RUN_LOG_KEEP", 2)
+        for index in range(20):
+            engine.cache.record_run({"command": "bench", "index": index})
+        assert {e.digest for e in scan(tmp_path)} == before
+        assert len(engine.cache.read_run_log()) <= 3
+
+
+class TestAggregateRobustness:
+    def test_half_malformed_record_is_skipped_whole(self, tmp_path):
+        store = TraceCache(tmp_path)
+        # Hits present but work counters missing: must not skew the
+        # aggregate with orphaned hits.
+        store.record_run({"stats": {"trace_cache_hits": 10,
+                                    "sim_cache_hits": 0}})
+        store.record_run({"stats": {"trace_cache_hits": 1,
+                                    "sim_cache_hits": 0,
+                                    "traces_computed": 1,
+                                    "simulations": 0}})
+        stats = collect_stats(tmp_path)
+        assert stats.aggregate_hit_rate == 0.5

@@ -1,5 +1,7 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -24,12 +26,37 @@ class TestCli:
         assert main(["experiment", "fig12", "--scale", "tiny"]) == 0
         assert "Figure 12" in capsys.readouterr().out
 
+    def test_bench_json_is_content_only_by_default(self, capsys):
+        assert main(["bench", "--scale", "tiny", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        # Run-environment facts stay out of the report document, so
+        # batch/stream/warm/shard-merged runs are byte-identical.
+        assert "engine_stats" not in document and "jobs" not in document
+        assert document["scale"] == "tiny" and len(
+            document["experiments"]) == 9
+
+    def test_bench_json_stats_flag_attaches_engine_stats(self, capsys):
+        assert main(["bench", "--scale", "tiny", "--format", "json",
+                     "--stats"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["engine_stats"]["simulations"] > 0
+        assert document["engine_stats"]["traces_computed"] > 0
+
+    def test_stats_without_json_rejected(self, capsys):
+        # --stats only affects the JSON document; dropping it silently
+        # for ascii/csv would hide the user's intent.
+        assert main(["bench", "--scale", "tiny", "--stats"]) == 2
+        assert "requires --format json" in capsys.readouterr().err
+        assert main(["bench", "--scale", "tiny", "--format", "csv",
+                     "--stats"]) == 2
+        assert "requires --format json" in capsys.readouterr().err
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
-    def test_unknown_kernel_rejected(self):
-        from repro.errors import ReproError
-
-        with pytest.raises(ReproError):
-            main(["simulate", "nonexistent"])
+    def test_unknown_kernel_rejected(self, capsys):
+        # Package errors surface as one-line diagnostics + exit code 2,
+        # not tracebacks (same contract as the argparse-level errors).
+        assert main(["simulate", "nonexistent"]) == 2
+        assert "error:" in capsys.readouterr().err

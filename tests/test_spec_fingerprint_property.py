@@ -1,0 +1,124 @@
+"""Property-style tests for RunSpec fingerprint stability.
+
+The fingerprint is the cache address *and* the sharding coordinate, so
+two properties are load-bearing: it must be invariant under incidental
+representation differences (dict key ordering, keyword order), and it
+must change whenever any semantic input — workload, scale, seed, model
+(key, options, label), any architecture parameter, or the engine
+version — changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import replace
+
+import pytest
+
+from repro.arch.params import ArchParams, DEFAULT_PARAMS
+from repro.engine import ModelSpec, RunSpec, fingerprint
+from repro.engine import cache as engine_cache
+
+MARIONETTE_PE = ModelSpec.make(
+    "marionette", label="Marionette PE", control_network=False, agile=False
+)
+
+BASE = RunSpec("gemm", "small", 0, MARIONETTE_PE, DEFAULT_PARAMS)
+
+
+class TestFingerprintStability:
+    def test_stable_across_key_dict_ordering(self):
+        key = BASE.cache_key()
+        for permutation in itertools.islice(
+                itertools.permutations(key.items()), 24):
+            assert fingerprint(dict(permutation)) == BASE.fingerprint()
+
+    def test_stable_across_params_dict_ordering(self):
+        key = BASE.cache_key()
+        params = key["params"]
+        reordered = dict(key)
+        reordered["params"] = dict(reversed(list(params.items())))
+        assert list(reordered["params"]) != list(params)
+        assert fingerprint(reordered) == fingerprint(key)
+
+    def test_stable_across_model_option_keyword_order(self):
+        forward = ModelSpec.make("marionette", label="Marionette PE",
+                                 control_network=False, agile=False)
+        backward = ModelSpec.make("marionette", agile=False,
+                                  control_network=False,
+                                  label="Marionette PE")
+        a = RunSpec("gemm", "small", 0, forward, DEFAULT_PARAMS)
+        b = RunSpec("gemm", "small", 0, backward, DEFAULT_PARAMS)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_independently_built_equal_specs_agree(self):
+        twin = RunSpec(
+            "gemm", "small", 0,
+            ModelSpec.make("marionette", label="Marionette PE",
+                           control_network=False, agile=False),
+            ArchParams(),
+        )
+        assert DEFAULT_PARAMS == ArchParams()
+        assert twin.fingerprint() == BASE.fingerprint()
+
+    def test_deterministic_across_calls(self):
+        assert BASE.fingerprint() == BASE.fingerprint()
+
+
+class TestFingerprintSensitivity:
+    def test_workload_changes_fingerprint(self):
+        assert replace(BASE, workload="crc").fingerprint() \
+            != BASE.fingerprint()
+
+    def test_scale_changes_fingerprint(self):
+        assert replace(BASE, scale="tiny").fingerprint() \
+            != BASE.fingerprint()
+
+    def test_seed_changes_fingerprint(self):
+        assert replace(BASE, seed=1).fingerprint() != BASE.fingerprint()
+
+    def test_model_key_changes_fingerprint(self):
+        assert replace(BASE, model=ModelSpec.make("von_neumann")) \
+            .fingerprint() != BASE.fingerprint()
+
+    def test_model_option_changes_fingerprint(self):
+        toggled = ModelSpec.make("marionette", label="Marionette PE",
+                                 control_network=True, agile=False)
+        assert replace(BASE, model=toggled).fingerprint() \
+            != BASE.fingerprint()
+
+    def test_model_label_changes_fingerprint(self):
+        relabeled = ModelSpec.make("marionette", label="other",
+                                   control_network=False, agile=False)
+        assert replace(BASE, model=relabeled).fingerprint() \
+            != BASE.fingerprint()
+
+    @pytest.mark.parametrize(
+        "field_name",
+        [f.name for f in dataclasses.fields(ArchParams)],
+    )
+    def test_every_arch_param_changes_fingerprint(self, field_name):
+        value = getattr(DEFAULT_PARAMS, field_name)
+        perturbed = replace(DEFAULT_PARAMS, **{field_name: value + 1})
+        assert replace(BASE, params=perturbed).fingerprint() \
+            != BASE.fingerprint()
+
+    def test_engine_version_changes_fingerprint(self, monkeypatch):
+        before = BASE.fingerprint()
+        monkeypatch.setattr(engine_cache, "ENGINE_VERSION",
+                            engine_cache.ENGINE_VERSION + 1)
+        assert BASE.fingerprint() != before
+
+    def test_no_collisions_across_a_sweep(self):
+        specs = [
+            RunSpec(workload, scale, seed, model, params)
+            for workload in ("gemm", "crc", "fft")
+            for scale in ("tiny", "small")
+            for seed in (0, 1)
+            for model in (ModelSpec.make("von_neumann"), MARIONETTE_PE)
+            for params in (DEFAULT_PARAMS,
+                           replace(DEFAULT_PARAMS, data_net_latency=9))
+        ]
+        prints = {spec.fingerprint() for spec in specs}
+        assert len(prints) == len(specs)
