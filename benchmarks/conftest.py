@@ -16,6 +16,11 @@ Registered engine benchmarks:
   sweep split ``--shard 1/2`` / ``2/2`` against one shared cache,
   exports merged and checked byte-identical against the unsharded
   golden run;
+* ``test_dispatch_lane.py`` — the dispatched CI lane example: a
+  localhost ``repro serve`` coordinator + worker processes pulling the
+  ablation sweep dynamically over the HTTP cache backend, checked
+  byte-identical against the unsharded golden run (plus a 2-worker
+  speedup assertion on multi-core hosts);
 * ``test_streaming_latency.py`` — asserts streaming mode's
   time-to-first-result beats batch mode's time-to-completion on a cold
   engine.

@@ -5,12 +5,21 @@ Commands:
 * ``report [--scale S]`` — regenerate every table/figure;
 * ``bench [--scale S] [--seed N] [--jobs N] [--cache-dir PATH]
   [--format ascii|json|csv] [--stream] [--shard K/N]
-  [--export-shard PATH] [--merge-shards PATH...]`` — the full report
-  through the parallel experiment engine, with on-disk trace caching,
-  machine-readable exports, streaming per-spec progress, and
-  fingerprint-prefix sharding across CI jobs (shard runs emit a
-  mergeable export; ``--merge-shards`` reassembles the canonical
-  report, byte-identical to an unsharded run);
+  [--export-shard PATH] [--merge-shards PATH...] [--dispatch URL]
+  [--prune-to-budget]`` — the full report through the parallel
+  experiment engine, with on-disk trace caching, machine-readable
+  exports, streaming per-spec progress, fingerprint-prefix sharding
+  across CI jobs (shard runs emit a mergeable export;
+  ``--merge-shards`` reassembles the canonical report, byte-identical
+  to an unsharded run), and dynamic dispatch to a ``repro serve``
+  worker fleet (``--dispatch``, also byte-identical);
+* ``serve [--host H] [--port P] [--cache-dir PATH]
+  [--lease-timeout S]`` — the distributed endpoint: an HTTP cache
+  server (shards and workers share trace/cycle records live) plus the
+  work-stealing coordinator that hands specs to idle workers;
+* ``worker --connect URL [--poll S] [--max-idle S]`` — a pull-loop
+  worker: lease specs from a coordinator, compute against the shared
+  cache, acknowledge results;
 * ``cache stats|prune --cache-dir PATH`` — cache administration: size,
   entry counts, per-run hit rates from the persisted run log; pruning
   by age, stale engine version, or size budget;
@@ -88,9 +97,35 @@ def _emit_report(results, args) -> None:
         print(report_csv(results))
 
 
+def _emit_streamed(pairs, args) -> None:
+    """Emit the report from a live stream of per-spec landings.
+
+    ASCII assembles *incrementally*: each experiment's table prints the
+    moment its last spec lands (in paper order), so early tables
+    surface while later experiments still compute — and the
+    concatenated output stays byte-identical to the batch report.  The
+    JSON/CSV documents are monolithic by design, so those formats
+    consume the stream first and render at the end.
+    """
+    from repro.experiments.report import assemble_stream, report_header
+
+    assembled = assemble_stream(pairs, args.scale, args.seed, args.engine)
+    if args.format == "ascii":
+        # The exact header render_results() writes, then each table as
+        # it becomes available.
+        for line in report_header(args.scale, args.seed):
+            print(line)
+        for result in assembled:
+            print(result.to_table())
+            print()
+    else:
+        _emit_report(list(assembled), args)
+
+
 def _finish_bench_run(engine, args, **context) -> None:
-    """Per-run bookkeeping: persist stats, warn on an oversized cache."""
-    from repro.engine.cache_admin import size_budget_bytes, usage
+    """Per-run bookkeeping: persist stats, warn on (or, with
+    ``--prune-to-budget``, enforce) the cache size budget."""
+    from repro.engine.cache_admin import prune, size_budget_bytes, usage
 
     engine.record_run(command="bench", scale=args.scale, seed=args.seed,
                       jobs=args.jobs, **context)
@@ -102,14 +137,25 @@ def _finish_bench_run(engine, args, **context) -> None:
         if total_bytes > budget_bytes:
             budget_mb = budget_bytes / (1024 * 1024)
             size_mb = total_bytes / (1024 * 1024)
-            print(
-                f"warning: cache {engine.cache.root} holds "
-                f"{size_mb:.1f} MiB across {entries} entries, over "
-                f"the {budget_mb:.0f} MiB budget — reclaim space with "
-                f"'repro cache prune --cache-dir {engine.cache.root} "
-                f"--max-size-mb {budget_mb:.0f}'",
-                file=sys.stderr,
-            )
+            if getattr(args, "prune_to_budget", False):
+                report = prune(engine.cache.root,
+                               max_size_bytes=budget_bytes)
+                print(
+                    f"pruned {report.removed} cache entries "
+                    f"({report.removed_bytes} bytes) to fit the "
+                    f"{budget_mb:.0f} MiB budget; kept {report.kept} "
+                    f"({report.kept_bytes} bytes)",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"warning: cache {engine.cache.root} holds "
+                    f"{size_mb:.1f} MiB across {entries} entries, over "
+                    f"the {budget_mb:.0f} MiB budget — reclaim space with "
+                    f"'repro cache prune --cache-dir {engine.cache.root} "
+                    f"--max-size-mb {budget_mb:.0f}'",
+                    file=sys.stderr,
+                )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -122,7 +168,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         shard_specs,
         write_shard_export,
     )
-    from repro.experiments.report import all_specs, run_all, stream_all
+    from repro.experiments.report import all_specs, run_all
 
     if args.shard and args.merge_shards:
         print("error: --shard and --merge-shards are mutually exclusive",
@@ -130,6 +176,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     if args.export_shard and not args.shard:
         print("error: --export-shard requires --shard", file=sys.stderr)
+        return 2
+    if args.dispatch and (args.shard or args.merge_shards):
+        print("error: --dispatch is a complete execution mode — it "
+              "cannot be combined with --shard/--merge-shards",
+              file=sys.stderr)
+        return 2
+    if args.dispatch and args.jobs != 1:
+        print("error: --jobs has no effect with --dispatch — the "
+              "worker fleet does the computing", file=sys.stderr)
+        return 2
+    if args.dispatch and args.cache_dir:
+        print("error: --cache-dir has no effect with --dispatch — "
+              "records live on the serve cache", file=sys.stderr)
+        return 2
+    if args.dispatch and args.stats:
+        print("error: --stats reports the local engine, which computes "
+              "nothing under --dispatch — fleet stats live at "
+              "GET <URL>/queue/status", file=sys.stderr)
+        return 2
+    if args.prune_to_budget and not args.cache_dir:
+        print("error: --prune-to-budget requires --cache-dir (there is "
+              "no local cache to prune)", file=sys.stderr)
         return 2
     if args.shard and (args.format is not None or args.stats):
         print("error: --format/--stats have no effect with --shard — a "
@@ -155,6 +223,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               "document — it requires --format json", file=sys.stderr)
         return 2
 
+    def progress(done: int, total: int, run_result) -> None:
+        print(_progress_line(done, total, run_result), file=sys.stderr)
+
+    if args.dispatch:
+        # The fleet computes; _run_dispatch builds its own HTTP-backed
+        # engine, so don't construct a local one just to discard it.
+        return _run_dispatch(args, progress)
+
     engine = Engine(cache_dir=args.cache_dir, jobs=args.jobs)
     args.engine = engine
 
@@ -176,9 +252,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         _emit_report(results, args)
         _finish_bench_run(engine, args, merged_shards=len(documents))
         return 0
-
-    def progress(done: int, total: int, run_result) -> None:
-        print(_progress_line(done, total, run_result), file=sys.stderr)
 
     if args.shard:
         index, count = parse_shard(args.shard)
@@ -209,12 +282,154 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
 
     if args.stream:
-        results = stream_all(args.scale, args.seed, engine=engine,
-                             on_result=progress)
+        from repro.experiments.report import stream_pairs
+
+        _emit_streamed(
+            stream_pairs(args.scale, args.seed, engine,
+                         on_result=progress),
+            args,
+        )
     else:
         results = run_all(args.scale, args.seed, engine=engine)
-    _emit_report(results, args)
+        _emit_report(results, args)
     _finish_bench_run(engine, args)
+    return 0
+
+
+def _run_dispatch(args, progress) -> int:
+    """``repro bench --dispatch URL``: run the sweep on a worker fleet.
+
+    The specs go to the coordinator as one job; workers pull them
+    dynamically (work stealing) and share every trace and cycle record
+    through the server's cache backend.  Each result lands here exactly
+    once (the cursor protocol); the report is then assembled locally
+    against the shared cache, so the output is byte-identical to a
+    local run in every format.
+    """
+    from repro.baselines.base import CycleResult
+    from repro.engine import Engine, fingerprint
+    from repro.engine.distributed.backend import HTTPBackend
+    from repro.engine.distributed.worker import (
+        CoordinatorClient,
+        dispatch_job,
+    )
+    from repro.engine.spec import RunResult
+    from repro.errors import DistributedError
+    from repro.experiments.report import all_specs
+
+    specs = all_specs(args.scale, args.seed)
+    client = CoordinatorClient(args.dispatch)
+    # Traces the assembly needs come over HTTP from the shared cache;
+    # cycle results are preloaded into the memory layer as they land.
+    engine = Engine(backend=HTTPBackend(args.dispatch))
+    args.engine = engine
+
+    def landed():
+        done = 0
+        for index, payload in dispatch_job(
+                client, [spec.to_payload() for spec in specs],
+                scale=args.scale, seed=args.seed):
+            if not 0 <= index < len(specs):
+                raise DistributedError(
+                    f"coordinator returned result index {index} outside "
+                    f"our {len(specs)}-spec job"
+                )
+            spec = specs[index]
+            engine.cache.preload(
+                {fingerprint(spec.cache_key()): payload}
+            )
+            done += 1
+            if args.stream:
+                progress(done, len(specs), RunResult(
+                    spec, CycleResult.from_payload(payload), cached=False
+                ))
+            yield index, payload
+
+    _emit_streamed(landed(), args)
+    if engine.stats.traces_computed or engine.stats.simulations:
+        print(
+            f"warning: the dispatched working set was incomplete — "
+            f"recomputed {engine.stats.traces_computed} traces and "
+            f"{engine.stats.simulations} simulations locally",
+            file=sys.stderr,
+        )
+    _finish_bench_run(engine, args, dispatch=args.dispatch)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine.cache import ENGINE_VERSION
+    from repro.engine.distributed.backend import LocalBackend, MemoryBackend
+    from repro.engine.distributed.coordinator import Coordinator
+    from repro.engine.distributed.server import DistributedServer
+
+    from repro.errors import DistributedError
+
+    backend = (LocalBackend(args.cache_dir) if args.cache_dir
+               else MemoryBackend())
+    try:
+        server = DistributedServer(
+            backend,
+            Coordinator(lease_timeout=args.lease_timeout),
+            host=args.host, port=args.port,
+        )
+    except OSError as error:
+        # Port in use, unresolvable host: a one-line diagnostic like
+        # every other CLI failure, not a socketserver traceback.
+        raise DistributedError(
+            f"cannot serve on {args.host}:{args.port}: {error}"
+        ) from error
+    print(
+        f"serving cache + coordinator on {server.url} "
+        f"({backend.describe()}, engine v{ENGINE_VERSION}) — stop with "
+        f"Ctrl-C or POST {server.url}/admin/shutdown",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.httpd.server_close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.engine.distributed.worker import (
+        default_worker_id,
+        work_loop,
+    )
+
+    worker = default_worker_id()
+
+    def on_task(kind: str, task: dict) -> None:
+        if kind == "trace":
+            detail = (f"trace {task['workload']}@{task['scale']} "
+                      f"seed={task['seed']}")
+        else:
+            spec = task["spec"]
+            model = spec["model"]
+            label = model.get("label") or model.get("model")
+            detail = (f"sim {spec['workload']}@{spec['scale']} "
+                      f"seed={spec['seed']} {label}")
+        print(f"[{worker}] {detail}", file=sys.stderr)
+
+    try:
+        summary = work_loop(
+            args.connect, poll=args.poll, max_idle=args.max_idle,
+            worker_id=worker, on_task=on_task,
+        )
+    except KeyboardInterrupt:
+        # Same clean exit as `repro serve`: any lease we held expires
+        # and is requeued to the surviving workers.
+        print(f"[{worker}] interrupted", file=sys.stderr)
+        return 130
+    print(
+        f"[{worker}] done: {summary.traces_computed} traces computed, "
+        f"{summary.trace_cache_hits} trace cache hits, "
+        f"{summary.sims} simulations, {summary.failures} failures",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -229,13 +444,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"{kind}: {count}" for kind, count in sorted(stats.by_kind.items())
         ) or "empty"
         versions = ", ".join(
-            f"v{version}: {count}"
+            f"v{version if version is not None else '?'}: {count}"
             for version, count in sorted(
                 stats.by_version.items(), key=lambda item: str(item[0])
             )
         ) or "-"
         print(f"cache {stats.root}")
         print(f"  entries: {stats.entries} ({kinds})")
+        skipped = stats.by_kind.get("unknown", 0)
+        if skipped:
+            # Foreign or truncated files under the fan-out are not
+            # records; they are reported, not fatal, and `repro cache
+            # prune --drop-stale-versions` reclaims them.
+            print(f"  skipped: {skipped} unreadable or foreign "
+                  f"file{'s' if skipped != 1 else ''}")
         print(f"  size: {stats.total_bytes} bytes ({size_mb:.2f} MiB), "
               f"budget {budget_mb:.0f} MiB"
               + (" [OVER BUDGET]" if stats.over_budget else ""))
@@ -404,7 +626,48 @@ def main(argv: List[str] = None) -> int:
                          help="attach engine_stats to the JSON document "
                               "(off by default so reports stay "
                               "byte-identical across cache states)")
+    p_bench.add_argument("--dispatch", default=None, metavar="URL",
+                         help="run the sweep on a 'repro serve' worker "
+                              "fleet (dynamic work stealing; report is "
+                              "byte-identical to a local run)")
+    p_bench.add_argument("--prune-to-budget", action="store_true",
+                         help="after the run, prune the cache down to "
+                              "the size budget instead of only warning "
+                              "(requires --cache-dir)")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTTP cache server + work-stealing coordinator"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: loopback only)")
+    p_serve.add_argument("--port", type=int, default=8417,
+                         help="bind port (0 picks an ephemeral port)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="back the cache server with this directory "
+                              "(default: in-memory, lives with the "
+                              "server process)")
+    p_serve.add_argument("--lease-timeout", type=float, default=60.0,
+                         metavar="SEC",
+                         help="seconds a worker may hold a task before "
+                              "it is requeued to the fleet")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker", help="pull-loop worker for a 'repro serve' coordinator"
+    )
+    p_worker.add_argument("--connect", required=True, metavar="URL",
+                          help="the 'repro serve' endpoint to pull "
+                               "tasks from")
+    p_worker.add_argument("--poll", type=float, default=0.2, metavar="SEC",
+                          help="seconds between polls when no task is "
+                               "ready")
+    p_worker.add_argument("--max-idle", type=float, default=None,
+                          metavar="SEC",
+                          help="exit after this long without work "
+                               "(default: serve until the coordinator "
+                               "shuts down)")
+    p_worker.set_defaults(fn=_cmd_worker)
 
     p_cache = sub.add_parser("cache", help="cache administration")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

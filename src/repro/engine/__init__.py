@@ -13,12 +13,24 @@ Layers (bottom up):
   (:meth:`Engine.execute`) and streaming execution (:meth:`Engine.stream`)
   with multiprocessing, deterministic result ordering, and run statistics;
 * :mod:`repro.engine.export` — JSON/CSV report exports and shard
-  export/merge documents.
+  export/merge documents;
+* :mod:`repro.engine.distributed` — the multi-machine layer: pluggable
+  cache backends (local / memory / HTTP), the ``repro serve`` cache
+  server + work-stealing coordinator, and the ``repro worker`` /
+  ``repro bench --dispatch`` loops.
 
-See ``docs/ENGINE.md`` for the cache layout and the CLI surface.
+See ``docs/ENGINE.md`` for the cache layout and the CLI surface, and
+``docs/DISTRIBUTED.md`` for the multi-machine subsystem.
 """
 
 from repro.engine.cache import ENGINE_VERSION, TraceCache, fingerprint
+from repro.engine.distributed import (
+    CacheBackend,
+    Coordinator,
+    HTTPBackend,
+    LocalBackend,
+    MemoryBackend,
+)
 from repro.engine.executor import (
     Engine,
     EngineStats,
@@ -27,6 +39,7 @@ from repro.engine.executor import (
     set_default_engine,
 )
 from repro.engine.export import (
+    backend_export_document,
     merge_shard_documents,
     read_shard_export,
     report_csv,
@@ -46,15 +59,21 @@ from repro.engine.spec import (
 )
 
 __all__ = [
+    "CacheBackend",
+    "Coordinator",
     "ENGINE_VERSION",
     "Engine",
     "EngineStats",
+    "HTTPBackend",
     "KernelRun",
+    "LocalBackend",
     "MODEL_REGISTRY",
+    "MemoryBackend",
     "ModelSpec",
     "RunResult",
     "RunSpec",
     "TraceCache",
+    "backend_export_document",
     "default_engine",
     "fingerprint",
     "merge_shard_documents",

@@ -12,6 +12,15 @@ by age, engine version, or size budget without guessing what a file is.
 Writes go through a temp file + rename so concurrent worker processes can
 share one directory.
 
+Storage is pluggable: the directory store described above is the
+:class:`~repro.engine.distributed.backend.LocalBackend`, one
+implementation of the ``CacheBackend`` protocol (get/put/contains/
+iter-keys over envelopes).  Passing ``backend=`` instead of a root —
+e.g. an :class:`~repro.engine.distributed.backend.HTTPBackend` pointed
+at a ``repro serve`` cache server — makes machines share records live;
+the envelope validation here is backend-independent, so a corrupt or
+foreign record is a miss regardless of where it came from.
+
 The cache also keeps an in-memory layer (digest -> payload), making it
 usable as the engine's process-local memo when no directory is
 configured; :meth:`TraceCache.snapshot` / :meth:`TraceCache.preload`
@@ -42,6 +51,7 @@ except ImportError:               # pragma: no cover
     fcntl = None
 
 from repro.arch.params import ArchParams
+from repro.errors import ConfigurationError
 
 #: Bump to invalidate every cached record (trace format or any execution
 #: model changed in a result-affecting way).  v2: records became
@@ -75,10 +85,29 @@ def fingerprint(key: Mapping[str, object]) -> str:
 
 
 class TraceCache:
-    """Two-layer (memory + optional disk) content-addressed store."""
+    """Two-layer (memory + optional backend) content-addressed store.
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    ``root`` keeps the historical constructor: a directory path backed
+    by the atomic on-disk store.  ``backend`` accepts any
+    ``CacheBackend`` (e.g. an HTTP client for a shared cache server);
+    the two are mutually exclusive.  Run-log bookkeeping is a property
+    of the *local directory* deployment — a remote backend's server owns
+    its own directory — so it stays tied to ``root``.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 backend: Optional[object] = None) -> None:
+        if root is not None and backend is not None:
+            raise ConfigurationError(
+                "TraceCache takes a directory root or a backend, not both"
+            )
         self.root = Path(root) if root is not None else None
+        if backend is None and self.root is not None:
+            # Function-level import: repro.engine.cache is imported while
+            # repro.engine.distributed initializes, and vice versa.
+            from repro.engine.distributed.backend import LocalBackend
+            backend = LocalBackend(self.root)
+        self.backend = backend
         self._memory: Dict[str, object] = {}
         self.disk_hits = 0
         self.memory_hits = 0
@@ -86,10 +115,9 @@ class TraceCache:
 
     @property
     def persistent(self) -> bool:
+        """Whether this cache is backed by a *local* directory (and so
+        carries a run log and participates in size budgeting)."""
         return self.root is not None
-
-    def _path(self, digest: str) -> Path:
-        return self.root / digest[:2] / f"{digest}.json"
 
     # ------------------------------------------------------------------
     def get(self, key: Mapping[str, object]) -> Optional[object]:
@@ -98,13 +126,8 @@ class TraceCache:
         if digest in self._memory:
             self.memory_hits += 1
             return self._memory[digest]
-        if self.root is not None:
-            path = self._path(digest)
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    record = json.load(handle)
-            except (OSError, json.JSONDecodeError):
-                record = None
+        if self.backend is not None:
+            record = self.backend.get(digest)
             # Only well-formed envelopes count; anything else (corrupt
             # file, foreign JSON) is a miss and gets recomputed.
             if isinstance(record, dict) and "payload" in record:
@@ -116,26 +139,11 @@ class TraceCache:
         return None
 
     def put(self, key: Mapping[str, object], payload: object) -> None:
-        """Store ``payload`` under ``key`` (atomic on disk)."""
+        """Store ``payload`` under ``key`` (write-through to the backend)."""
         digest = fingerprint(key)
         self._memory[digest] = payload
-        if self.root is None:
-            return
-        path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump({"key": dict(key), "payload": payload}, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        if self.backend is not None:
+            self.backend.put(digest, {"key": dict(key), "payload": payload})
 
     # -- working-set transfer (shard exports) --------------------------
     def snapshot(self) -> Dict[str, object]:

@@ -94,6 +94,19 @@ def scan(root: os.PathLike) -> List[CacheEntry]:
         except (OSError, json.JSONDecodeError, KeyError, TypeError,
                 AttributeError):
             pass
+        # A foreign JSON file can put anything in these fields; coerce
+        # them so downstream aggregation (dict buckets keyed by kind and
+        # version) never trips over an unhashable or mistyped value.
+        # A record with an unknown kind or a non-integer version can
+        # never be a valid engine record, so the whole file classifies
+        # as "unknown" — reported as skipped, reclaimable by
+        # ``prune --drop-stale-versions``, never fatal.
+        if kind not in ("trace", "cycles") \
+                or not isinstance(version, int) \
+                or isinstance(version, bool):
+            kind, version = "unknown", None
+        if workload is not None and not isinstance(workload, str):
+            workload = None
         entries.append(CacheEntry(
             path=path, digest=path.stem, kind=kind, version=version,
             workload=workload, size=stat.st_size, mtime=stat.st_mtime,

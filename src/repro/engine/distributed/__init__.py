@@ -1,0 +1,43 @@
+"""Distributed execution: pluggable cache backends + work dispatch.
+
+Three layers, one URL:
+
+* :mod:`repro.engine.distributed.backend` — the ``CacheBackend``
+  protocol behind :class:`~repro.engine.cache.TraceCache` (local
+  directory, in-memory, HTTP client);
+* :mod:`repro.engine.distributed.coordinator` — the work-stealing
+  dispatcher: a lease/ack spec queue with crash requeue and
+  exactly-once result delivery;
+* :mod:`repro.engine.distributed.server` — ``repro serve``: one stdlib
+  HTTP server exposing the cache backend and the coordinator;
+* :mod:`repro.engine.distributed.worker` — ``repro worker`` pull loops
+  and the ``repro bench --dispatch`` client.
+
+Only the backend and coordinator layers are re-exported here: they are
+import-cycle-free (``TraceCache`` itself constructs a
+``LocalBackend``).  Import ``server`` and ``worker`` explicitly — they
+depend on the fully-initialized engine package.
+
+See ``docs/DISTRIBUTED.md`` for the serve/worker/dispatch walkthrough
+and the failure semantics.
+"""
+
+from repro.engine.distributed.backend import (
+    CacheBackend,
+    HTTPBackend,
+    LocalBackend,
+    MemoryBackend,
+)
+from repro.engine.distributed.coordinator import (
+    Coordinator,
+    DEFAULT_LEASE_TIMEOUT,
+)
+
+__all__ = [
+    "CacheBackend",
+    "Coordinator",
+    "DEFAULT_LEASE_TIMEOUT",
+    "HTTPBackend",
+    "LocalBackend",
+    "MemoryBackend",
+]

@@ -1,0 +1,327 @@
+"""The work-stealing dispatcher's coordinator.
+
+``--shard K/N`` partitions a sweep *statically* by fingerprint prefix:
+a skewed sweep leaves whole machines idle while one shard grinds.  The
+coordinator replaces the static partition with a dynamic queue — idle
+workers *pull* the next ready task, so the work distributes itself by
+construction, whatever the skew.
+
+One dispatched job is a spec batch plus its derived task graph:
+
+* one **trace task** per distinct (workload, scale, seed) — the
+  expensive functional simulations, each performed exactly once across
+  the whole fleet (the content-addressed cache key would make duplicate
+  computation harmless, but not free);
+* one **sim task** per spec index, *blocked* until its trace task is
+  acknowledged — so a worker leasing a sim task can rely on the trace
+  being resident in the shared cache backend.
+
+Execution follows a lease/ack protocol with the same invariants the
+streaming engine locked down:
+
+* a lease hands a task to one worker with a deadline; a worker that
+  crashes (or stalls) past its deadline loses the lease and the task is
+  requeued for the next idle worker — no task is ever lost;
+* an acknowledgement must present the live lease token.  Stale acks
+  (from a worker whose lease expired and whose task was re-leased) are
+  counted and discarded, so every result is delivered **exactly once**
+  and every spec index lands exactly one payload, whatever the worker
+  churn;
+* a worker reporting a task *failure* fails the job fast: the queue is
+  cleared, subsequent leases find no work, and the dispatching client
+  receives the one-line diagnostic — mirroring the engine's clean
+  ``EngineError`` crash path.
+
+The coordinator is transport-agnostic (plain method calls under one
+lock); :mod:`repro.engine.distributed.server` exposes it over HTTP next
+to the cache backend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import DistributedError
+
+#: Default seconds a worker may hold a lease before it is presumed dead.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+
+@dataclass
+class _Task:
+    """One unit of leasable work (a trace computation or a sim)."""
+
+    id: str
+    kind: str                       # "trace" | "sim"
+    payload: dict                   # wire form handed to the worker
+    state: str = "pending"          # "pending" | "leased" | "done"
+    lease: Optional[str] = None
+    worker: Optional[str] = None
+    deadline: float = 0.0
+    trace_id: Optional[str] = None  # sim tasks: the trace they replay
+    index: Optional[int] = None     # sim tasks: position in the spec batch
+
+
+@dataclass
+class _Job:
+    """One dispatched spec batch and its progress."""
+
+    id: str
+    scale: str
+    seed: int
+    tasks: Dict[str, _Task] = field(default_factory=dict)
+    trace_queue: Deque[str] = field(default_factory=deque)
+    ready_sims: Deque[str] = field(default_factory=deque)
+    blocked_sims: Dict[str, List[str]] = field(default_factory=dict)
+    results: List[Tuple[int, dict]] = field(default_factory=list)
+    total_sims: int = 0
+    failed: Optional[str] = None
+    stats: Dict[str, int] = field(default_factory=lambda: {
+        "traces_computed": 0,   # trace tasks a worker actually simulated
+        "trace_cache_hits": 0,  # trace tasks served from the shared cache
+        "requeues": 0,          # leases reclaimed from crashed workers
+        "stale_acks": 0,        # acks discarded by exactly-once delivery
+    })
+
+    @property
+    def done(self) -> bool:
+        return self.failed is not None or len(self.results) == self.total_sims
+
+
+def _trace_key_of(spec_payload: dict) -> Tuple[str, str, int]:
+    return (str(spec_payload["workload"]), str(spec_payload["scale"]),
+            int(spec_payload["seed"]))
+
+
+class Coordinator:
+    """Owns the spec queue of dispatched jobs (one active job at a time)."""
+
+    def __init__(self, lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 clock=time.monotonic) -> None:
+        self.lease_timeout = float(lease_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._job: Optional[_Job] = None
+        self._job_counter = 0
+        self._lease_counter = 0
+        self._draining = False
+
+    # -- job lifecycle -------------------------------------------------
+    def submit(self, specs: List[dict], scale: str, seed: int) -> dict:
+        """Queue one spec batch; returns the job id and task counts.
+
+        Rejected while another job is still running (one sweep at a
+        time keeps result delivery unambiguous) or while draining.
+        """
+        with self._lock:
+            if self._draining:
+                raise DistributedError(
+                    "coordinator is shutting down and accepts no new jobs"
+                )
+            if self._job is not None and not self._job.done:
+                raise DistributedError(
+                    f"job {self._job.id} is still running "
+                    f"({len(self._job.results)}/{self._job.total_sims} "
+                    f"specs complete) — one dispatched job at a time"
+                )
+            self._job_counter += 1
+            # The id must be unique across server restarts, not just
+            # within this process: a driver polling results by a
+            # recycled counter value could silently consume another
+            # driver's payloads after a serve crash + resubmit.
+            job = _Job(id=f"{self._job_counter}-{uuid.uuid4().hex[:12]}",
+                       scale=str(scale), seed=int(seed))
+            trace_ids: Dict[Tuple[str, str, int], str] = {}
+            for key in sorted({_trace_key_of(spec) for spec in specs}):
+                task_id = f"t{len(trace_ids)}"
+                workload, trace_scale, trace_seed = key
+                job.tasks[task_id] = _Task(
+                    id=task_id, kind="trace",
+                    payload={"kind": "trace", "workload": workload,
+                             "scale": trace_scale, "seed": trace_seed},
+                )
+                job.trace_queue.append(task_id)
+                job.blocked_sims[task_id] = []
+                trace_ids[key] = task_id
+            for index, spec in enumerate(specs):
+                task_id = f"s{index}"
+                trace_id = trace_ids[_trace_key_of(spec)]
+                job.tasks[task_id] = _Task(
+                    id=task_id, kind="sim",
+                    payload={"kind": "sim", "index": index, "spec": spec},
+                    trace_id=trace_id, index=index,
+                )
+                job.blocked_sims[trace_id].append(task_id)
+            job.total_sims = len(specs)
+            self._job = job
+            return {"job": job.id, "traces": len(trace_ids),
+                    "sims": len(specs)}
+
+    # -- the lease/ack protocol ----------------------------------------
+    def _requeue_expired(self, job: _Job) -> None:
+        now = self._clock()
+        for task in job.tasks.values():
+            if task.state == "leased" and task.deadline <= now:
+                task.state = "pending"
+                task.lease = None
+                task.worker = None
+                job.stats["requeues"] += 1
+                if task.kind == "trace":
+                    job.trace_queue.appendleft(task.id)
+                else:
+                    job.ready_sims.appendleft(task.id)
+
+    def lease(self, worker: str) -> dict:
+        """The next ready task for ``worker``, or a wait/shutdown verdict.
+
+        Responses: ``{"task", "lease"}`` (work to do), ``{"wait": true}``
+        (nothing ready right now — poll again), ``{"shutdown": true}``
+        (the coordinator is draining; exit).
+        """
+        with self._lock:
+            if self._draining:
+                return {"shutdown": True}
+            job = self._job
+            if job is None or job.failed is not None:
+                return {"wait": True}
+            self._requeue_expired(job)
+            if job.trace_queue:
+                task = job.tasks[job.trace_queue.popleft()]
+            elif job.ready_sims:
+                task = job.tasks[job.ready_sims.popleft()]
+            else:
+                return {"wait": True}
+            self._lease_counter += 1
+            task.state = "leased"
+            task.lease = f"L{self._lease_counter}"
+            task.worker = str(worker)
+            task.deadline = self._clock() + self.lease_timeout
+            return {"task": dict(task.payload), "id": task.id,
+                    "lease": task.lease}
+
+    def renew(self, task_id: str, lease: str) -> bool:
+        """Extend a live lease's deadline; False for stale/unknown ones.
+
+        A worker computing a task longer than the lease timeout
+        heartbeats through this, so slow-but-alive workers are never
+        mistaken for crashed ones — without renewal, an expiring lease
+        would requeue a task that is still being computed, breaking the
+        trace-exactly-once economy (and, with a single worker, stalling
+        the dispatch client for nothing).
+        """
+        with self._lock:
+            job = self._job
+            if job is None:
+                return False
+            task = job.tasks.get(task_id)
+            if task is None or task.state != "leased" \
+                    or task.lease != lease:
+                return False
+            task.deadline = self._clock() + self.lease_timeout
+            return True
+
+    def ack(self, task_id: str, lease: str, *,
+            result: Optional[dict] = None, computed: bool = False,
+            error: Optional[str] = None) -> bool:
+        """Complete (or fail) a leased task; True when the ack counted.
+
+        Exactly-once delivery: only the live lease token is accepted, so
+        a worker that lost its lease to the crash-recovery requeue
+        cannot deliver a duplicate (or conflicting) result later.
+        """
+        with self._lock:
+            job = self._job
+            if job is None:
+                return False
+            task = job.tasks.get(task_id)
+            if task is None or task.state != "leased" \
+                    or task.lease != lease:
+                job.stats["stale_acks"] += 1
+                return False
+            if error is not None:
+                job.failed = (
+                    f"worker {task.worker} failed {task.kind} task "
+                    f"{task.id}: {error}"
+                )
+                job.trace_queue.clear()
+                job.ready_sims.clear()
+                job.blocked_sims.clear()
+                task.state = "pending"
+                task.lease = None
+                return True
+            task.state = "done"
+            task.lease = None
+            if task.kind == "trace":
+                key = ("traces_computed" if computed
+                       else "trace_cache_hits")
+                job.stats[key] += 1
+                for sim_id in job.blocked_sims.pop(task.id, []):
+                    job.ready_sims.append(sim_id)
+            else:
+                job.results.append((task.index, result))
+            return True
+
+    # -- result delivery ------------------------------------------------
+    def results_since(self, cursor: int) -> dict:
+        """Results landed after ``cursor`` (completion order), plus the
+        job verdict.  The cursor makes client polling exactly-once: each
+        (index, payload) pair is handed out one time per cursor chain."""
+        with self._lock:
+            job = self._job
+            if job is None:
+                raise DistributedError("no job has been dispatched")
+            # Reclaim expired leases here too: if the whole fleet died,
+            # no worker is left to trigger the requeue from lease(), but
+            # the dispatch client keeps polling — and needs to observe
+            # leased=0 to diagnose the stall instead of waiting forever.
+            self._requeue_expired(job)
+            cursor = max(0, int(cursor))
+            batch = job.results[cursor:]
+            return {
+                "job": job.id,
+                "results": [[index, payload] for index, payload in batch],
+                "completed": len(job.results),
+                "total": job.total_sims,
+                "done": job.done,
+                "failed": job.failed,
+            }
+
+    def status(self) -> dict:
+        """Queue depths, lease counts, and aggregate stats (diagnostics)."""
+        with self._lock:
+            if self._job is None:
+                return {"job": None, "draining": self._draining}
+            job = self._job
+            self._requeue_expired(job)
+            leased = sum(1 for t in job.tasks.values()
+                         if t.state == "leased")
+            return {
+                "job": job.id,
+                "scale": job.scale,
+                "seed": job.seed,
+                "total": job.total_sims,
+                "completed": len(job.results),
+                "pending_traces": len(job.trace_queue),
+                "ready_sims": len(job.ready_sims),
+                "leased": leased,
+                "done": job.done,
+                "failed": job.failed,
+                "stats": dict(job.stats),
+                "draining": self._draining,
+            }
+
+    # -- shutdown -------------------------------------------------------
+    def drain(self) -> None:
+        """Stop handing out work; tell pollers to shut down.
+
+        In-flight acks are still accepted (a worker mid-task finishes
+        cleanly) and already-delivered results remain readable, so a
+        drain never tears a result in half — it only closes the tap.
+        """
+        with self._lock:
+            self._draining = True

@@ -1,0 +1,318 @@
+"""Worker loops and dispatch clients for the distributed subsystem.
+
+A **worker** (``repro worker --connect URL``) is a thin pull loop around
+the ordinary :class:`~repro.engine.executor.Engine`: it leases tasks
+from the coordinator, computes them with an engine whose cache is the
+server's HTTP backend (so every record it computes or reads is shared
+live with the rest of the fleet), and acknowledges results.  All the
+heavy machinery — trace interpretation, model evaluation, content
+addressing — is exactly the single-machine code path; distribution adds
+only the lease/ack envelope around it.
+
+A **dispatch client** (``repro bench --dispatch URL``) is the other
+side: it submits a spec batch as one job, polls for results with a
+cursor (each spec index delivered exactly once, in completion order),
+and replays the report assembly locally against the shared cache —
+which is why a dispatched report is byte-identical to a local run.
+
+Failure semantics worth knowing:
+
+* a worker that hits an :class:`~repro.errors.EngineError` on a task
+  acks the *failure*; the coordinator fails the job fast and the
+  dispatch client raises :class:`~repro.errors.DistributedError` with
+  the worker's one-line diagnostic;
+* a worker that dies silently simply stops acking — its leases expire
+  and the tasks are requeued to surviving workers; if *no* worker
+  survives (or none was ever started), the dispatch client notices the
+  queue sitting idle and raises :class:`DistributedError` after a stall
+  window instead of polling forever;
+* an unreachable server raises :class:`DistributedError` from the HTTP
+  layer, which the CLI prints as a one-line ``error:`` + exit 2.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.engine.cache import ENGINE_VERSION
+from repro.engine.distributed.backend import HTTPBackend, http_json
+from repro.errors import DistributedError, ReproError
+
+#: Default seconds between polls when the queue has nothing ready.
+DEFAULT_POLL = 0.2
+
+#: Default seconds :func:`dispatch_job` tolerates with no results *and*
+#: no leased tasks before concluding no worker is serving the queue.
+DEFAULT_STALL_TIMEOUT = 30.0
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class CoordinatorClient:
+    """HTTP client for the coordinator half of a ``repro serve`` server."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _post(self, path: str, body: dict) -> dict:
+        _status, document = http_json(
+            "POST", f"{self.base_url}{path}", body=body,
+            timeout=self.timeout,
+        )
+        return document if isinstance(document, dict) else {}
+
+    def _get(self, path: str) -> dict:
+        _status, document = http_json(
+            "GET", f"{self.base_url}{path}", timeout=self.timeout
+        )
+        return document if isinstance(document, dict) else {}
+
+    # ------------------------------------------------------------------
+    def check_version(self) -> dict:
+        """Health-check the server and fail loudly on version skew."""
+        health = self._get("/health")
+        version = health.get("engine_version")
+        if version is None:
+            # A listening socket that is not `repro serve` (typo'd URL,
+            # proxy, some other service) has no /health document — that
+            # is not a version skew, and saying so would send the
+            # operator hunting for a build mismatch that does not exist.
+            raise DistributedError(
+                f"{self.base_url} does not look like a repro serve "
+                f"endpoint (no /health engine_version)"
+            )
+        if version != ENGINE_VERSION:
+            raise DistributedError(
+                f"{self.base_url} runs engine version {version!r}, this "
+                f"build is {ENGINE_VERSION} — matching builds are "
+                f"required for shared cache records to line up"
+            )
+        return health
+
+    def submit(self, specs: List[dict], *, scale: str, seed: int) -> dict:
+        return self._post("/queue/job", {
+            "specs": specs, "scale": scale, "seed": seed,
+            "engine_version": ENGINE_VERSION,
+        })
+
+    def lease(self, worker: str) -> dict:
+        return self._post("/queue/lease", {"worker": worker})
+
+    def renew(self, task_id: str, lease: str) -> bool:
+        return bool(self._post("/queue/renew", {
+            "id": task_id, "lease": lease,
+        }).get("renewed"))
+
+    def ack(self, task_id: str, lease: str, *,
+            result: Optional[dict] = None, computed: bool = False,
+            error: Optional[str] = None) -> bool:
+        body = {"id": task_id, "lease": lease, "computed": computed}
+        if result is not None:
+            body["result"] = result
+        if error is not None:
+            body["error"] = error
+        return bool(self._post("/queue/ack", body).get("accepted"))
+
+    def results_since(self, cursor: int) -> dict:
+        return self._get(f"/queue/results?since={int(cursor)}")
+
+    def status(self) -> dict:
+        return self._get("/queue/status")
+
+    def export(self, *, scale: str, seed: int) -> dict:
+        return self._get(f"/export?scale={scale}&seed={int(seed)}")
+
+    def shutdown(self) -> None:
+        self._post("/admin/shutdown", {})
+
+
+# ----------------------------------------------------------------------
+# The worker loop
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerSummary:
+    """What one worker loop did before it exited."""
+
+    traces_computed: int = 0
+    trace_cache_hits: int = 0
+    sims: int = 0
+    failures: int = 0
+
+
+def work_loop(url: str, *, poll: float = DEFAULT_POLL,
+              max_idle: Optional[float] = None,
+              worker_id: Optional[str] = None,
+              on_task: Optional[Callable[[str, dict], None]] = None,
+              client: Optional[CoordinatorClient] = None) -> WorkerSummary:
+    """Pull tasks from ``url`` until told to shut down (or idled out).
+
+    ``max_idle`` bounds how long the loop waits without receiving work
+    before exiting on its own — None means serve until the coordinator
+    drains.  ``on_task(kind, detail)`` fires after each completed task
+    (the CLI's progress lines).
+    """
+    from repro.engine.distributed.coordinator import DEFAULT_LEASE_TIMEOUT
+    from repro.engine.executor import Engine
+
+    client = client or CoordinatorClient(url)
+    health = client.check_version()
+    lease_timeout = float(
+        health.get("lease_timeout") or DEFAULT_LEASE_TIMEOUT
+    )
+    engine = Engine(backend=HTTPBackend(url))
+    worker = worker_id or default_worker_id()
+    summary = WorkerSummary()
+    idle_since: Optional[float] = None
+    tasks_since_idle = 0
+    while True:
+        response = client.lease(worker)
+        if response.get("shutdown"):
+            break
+        if response.get("wait") or "task" not in response:
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+                if tasks_since_idle:
+                    # Going idle after doing work: drop the engine's
+                    # per-trace/per-spec memos so a serve-indefinitely
+                    # worker's memory stays bounded by one sweep's
+                    # working set.  The records themselves live on the
+                    # server; anything still needed is one GET away.
+                    engine = Engine(backend=HTTPBackend(url))
+                    tasks_since_idle = 0
+            if max_idle is not None and now - idle_since >= max_idle:
+                break
+            time.sleep(poll)
+            continue
+        idle_since = None
+        tasks_since_idle += 1
+        task = response["task"]
+        task_id, lease = response["id"], response["lease"]
+        # Heartbeat while computing: a task slower than the lease
+        # timeout must not be mistaken for a crashed worker (the
+        # requeue would recompute it elsewhere and discard our ack).
+        renew_stop = threading.Event()
+
+        def _keep_renewed(task_id=task_id, lease=lease) -> None:
+            misses = 0
+            while not renew_stop.wait(lease_timeout / 3.0):
+                try:
+                    if not client.renew(task_id, lease):
+                        return   # lease gone: renewing is pointless
+                    misses = 0
+                except DistributedError:
+                    # One transient blip must not cost the lease —
+                    # keep trying until a full lease timeout of
+                    # consecutive failures says the server is gone.
+                    misses += 1
+                    if misses >= 3:
+                        return
+
+        renewer = threading.Thread(target=_keep_renewed, daemon=True)
+        renewer.start()
+        try:
+            if task["kind"] == "trace":
+                computed = engine.ensure_trace(
+                    task["workload"], task["scale"], task["seed"]
+                )
+                # A rejected ack means the lease expired and the task
+                # was redone elsewhere — our result was discarded, so
+                # it must not count in the summary.
+                accepted = client.ack(task_id, lease, computed=computed)
+                if accepted:
+                    if computed:
+                        summary.traces_computed += 1
+                    else:
+                        summary.trace_cache_hits += 1
+            else:
+                from repro.engine.spec import RunSpec
+
+                spec = RunSpec.from_payload(task["spec"])
+                run_result, = engine.execute([spec])
+                accepted = client.ack(
+                    task_id, lease,
+                    result=run_result.result.to_payload(),
+                )
+                if accepted:
+                    summary.sims += 1
+        except DistributedError:
+            raise             # server went away: the loop cannot go on
+        except ReproError as error:
+            # The task itself failed (bad spec, model crash): report it
+            # so the job fails fast with the diagnostic, then keep
+            # serving — the next job may be fine.
+            client.ack(task_id, lease, error=str(error))
+            summary.failures += 1
+        else:
+            if accepted and on_task is not None:
+                on_task(task["kind"], task)
+        finally:
+            renew_stop.set()
+    return summary
+
+
+# ----------------------------------------------------------------------
+# The dispatching side
+# ----------------------------------------------------------------------
+def dispatch_job(client: CoordinatorClient, specs: List[dict], *,
+                 scale: str, seed: int,
+                 poll: float = DEFAULT_POLL,
+                 stall_timeout: float = DEFAULT_STALL_TIMEOUT
+                 ) -> Iterator[Tuple[int, dict]]:
+    """Submit a job and yield ``(spec index, cycles payload)`` pairs.
+
+    Pairs surface in completion order, each index exactly once (the
+    cursor protocol), mirroring ``Engine.stream``'s delivery contract.
+    Raises :class:`DistributedError` when the job fails remotely, the
+    server disappears mid-flight, or — after ``stall_timeout`` seconds
+    with no results and no leased tasks — no worker is serving the
+    queue at all (leases held by live workers never trip the timer, so
+    long-running tasks are fine).
+    """
+    client.check_version()
+    receipt = client.submit(specs, scale=scale, seed=seed)
+    job_id = receipt.get("job")
+    cursor = 0
+    last_progress = time.monotonic()
+    while True:
+        batch = client.results_since(cursor)
+        if batch.get("job") != job_id:
+            # Another driver replaced the job (submit() frees the slot
+            # the instant a job completes): its payloads would preload
+            # under *our* spec digests and silently corrupt the report.
+            raise DistributedError(
+                f"coordinator is serving job {batch.get('job')!r}, not "
+                f"our job {job_id!r} — another driver took over the "
+                f"queue mid-poll"
+            )
+        if batch.get("failed"):
+            raise DistributedError(
+                f"dispatched job failed: {batch['failed']}"
+            )
+        results = batch.get("results", [])
+        for index, payload in results:
+            yield int(index), payload
+            cursor += 1
+        if batch.get("done"):
+            return
+        now = time.monotonic()
+        if results:
+            last_progress = now
+        elif now - last_progress >= stall_timeout:
+            if not client.status().get("leased"):
+                raise DistributedError(
+                    f"dispatched job stalled: no results and no leased "
+                    f"tasks for {stall_timeout:.0f}s — is any 'repro "
+                    f"worker --connect {client.base_url}' process "
+                    f"running?"
+                )
+            last_progress = now
+        time.sleep(poll)

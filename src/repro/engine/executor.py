@@ -212,11 +212,18 @@ def _sim_error(spec: RunSpec, error: BaseException) -> EngineError:
 # The engine
 # ----------------------------------------------------------------------
 class Engine:
-    """Executes :class:`RunSpec` batches with caching and parallelism."""
+    """Executes :class:`RunSpec` batches with caching and parallelism.
 
-    def __init__(self, cache_dir=None, jobs: int = 1) -> None:
+    ``cache_dir`` keeps the historical local-directory cache;
+    ``backend`` attaches any ``CacheBackend`` instead (e.g. an
+    ``HTTPBackend`` pointed at a ``repro serve`` cache server, which is
+    how distributed workers share traces live).
+    """
+
+    def __init__(self, cache_dir=None, jobs: int = 1,
+                 backend=None) -> None:
         self.jobs = max(1, int(jobs))
-        self.cache = TraceCache(cache_dir)
+        self.cache = TraceCache(cache_dir, backend=backend)
         self.stats = EngineStats()
         self._trace_payloads: Dict[TraceKey, dict] = {}
         self._instances: Dict[TraceKey, WorkloadInstance] = {}
@@ -526,6 +533,24 @@ class Engine:
         for key in sorted({spec.trace_key() for spec in specs}):
             if not self._lookup_trace(key):
                 self._compute_trace(key)
+
+    def ensure_trace(self, workload: str, scale: str, seed: int) -> bool:
+        """Make one functional trace resident; True when computed here.
+
+        The distributed worker's trace-task entry point: a cache hit
+        (memory or backend) returns False without interpreting
+        anything; a miss computes, verifies, and writes the trace
+        through to the cache backend, so with a shared backend every
+        other worker sees it immediately.
+        """
+        # Verbatim, like RunSpec.trace_key() and every execute() cache
+        # path: lower-casing here (only) would store a mixed-case
+        # workload's trace under a key no sim task ever looks up.
+        key = (str(workload), str(scale), int(seed))
+        if self._lookup_trace(key):
+            return False
+        self._compute_trace(key)
+        return True
 
     # -- run accounting --------------------------------------------------
     def record_run(self, **context: object) -> None:

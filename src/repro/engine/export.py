@@ -95,6 +95,34 @@ def shard_export_document(engine, *, scale: str, seed: int,
     }
 
 
+def backend_export_document(backend, *, scale: str,
+                            seed: int) -> Dict[str, object]:
+    """A cache backend's whole store as a mergeable shard export.
+
+    The bridge from the live distributed subsystem back to the
+    file-based one: ``GET /export`` on a ``repro serve`` server renders
+    its store through this, and the resulting document goes straight
+    into ``repro bench --merge-shards`` — a worker fleet's working set
+    can be archived and replayed offline like any shard export.
+    Entries that are not well-formed envelopes are skipped, matching
+    ``TraceCache``'s read-side validation.
+    """
+    entries: Dict[str, object] = {}
+    for digest in backend.iter_keys():
+        record = backend.get(digest)
+        if isinstance(record, dict) and "payload" in record:
+            entries[digest] = record["payload"]
+    return {
+        "format": SHARD_FORMAT,
+        "format_version": SHARD_FORMAT_VERSION,
+        "engine_version": _cache.ENGINE_VERSION,
+        "scale": str(scale),
+        "seed": int(seed),
+        "shard": None,
+        "entries": entries,
+    }
+
+
 def write_shard_export(path, document: Dict[str, object]) -> None:
     Path(path).write_text(
         json.dumps(document, sort_keys=True), encoding="utf-8"

@@ -101,6 +101,19 @@ class ModelSpec:
             "label": self.label,
         }
 
+    @classmethod
+    def from_token(cls, token: Mapping[str, object]) -> "ModelSpec":
+        """Rebuild a spec from its :meth:`token` (JSON round-trip safe)."""
+        try:
+            options = tuple(
+                (str(key), value) for key, value in token["options"]
+            )
+            return cls(str(token["model"]), options, token.get("label"))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"malformed model token {token!r}: {error}"
+            ) from error
+
 
 def trace_cache_key(workload: str, scale: str,
                     seed: int) -> Dict[str, object]:
@@ -145,6 +158,37 @@ class RunSpec:
         """SHA-256 content address of :meth:`cache_key` (also the
         sharding coordinate)."""
         return _cache.fingerprint(self.cache_key())
+
+    # -- wire form (work dispatch) -------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe wire form, for shipping specs to remote workers.
+
+        Unlike :meth:`cache_key` this is a *constructive* encoding —
+        :meth:`from_payload` rebuilds an equal spec from it, so the
+        dispatching client and a worker on another machine derive
+        identical fingerprints and cache addresses.
+        """
+        return {
+            "workload": self.workload, "scale": self.scale,
+            "seed": self.seed, "model": self.model.token(),
+            "params": _cache.params_token(self.params),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_payload` output."""
+        try:
+            return cls(
+                workload=str(payload["workload"]),
+                scale=str(payload["scale"]),
+                seed=int(payload["seed"]),
+                model=ModelSpec.from_token(payload["model"]),
+                params=ArchParams(**payload["params"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"malformed run-spec payload: {error}"
+            ) from error
 
 
 # ----------------------------------------------------------------------

@@ -56,3 +56,9 @@ class ConfigurationError(ReproError):
 class EngineError(ReproError):
     """The experiment engine failed: a worker crashed mid-stream, or a
     shard export is malformed / inconsistent with its merge partners."""
+
+
+class DistributedError(EngineError):
+    """The distributed execution subsystem failed: a cache server or
+    coordinator is unreachable, speaks a different engine version, a
+    dispatched job was rejected, or a remote worker reported a failure."""

@@ -13,7 +13,7 @@ order.
 from __future__ import annotations
 
 import sys
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.engine.executor import Engine, default_engine
 from repro.experiments import (
@@ -55,51 +55,109 @@ def all_specs(scale: str = "small", seed: int = 0) -> List:
     return specs
 
 
+#: Experiment modules whose ``run`` is scale/seed-independent (area and
+#: analytical-scaling tables) — they are invoked with the engine alone.
+_SCALELESS_MODULES = frozenset(
+    {fig13_network_scaling, table4_area, table6_network_area}
+)
+
+
+def _run_module(module, scale: str, seed: int,
+                engine: Engine) -> ExperimentResult:
+    """One experiment's table, respecting the module's run signature."""
+    if module in _SCALELESS_MODULES:
+        return module.run(engine=engine)
+    return module.run(scale, seed, engine=engine)
+
+
 def run_all(scale: str = "small", seed: int = 0,
             engine: Optional[Engine] = None) -> List[ExperimentResult]:
     """Every table and figure of the evaluation, in paper order."""
     engine = engine or default_engine()
     engine.execute(all_specs(scale, seed))  # one batch: parallel + cached
     return [
-        fig11_pe_models.run(scale, seed, engine=engine),
-        fig12_control_network.run(scale, seed, engine=engine),
-        fig13_network_scaling.run(engine=engine),
-        fig14_agile.run(scale, seed, engine=engine),
-        fig15_utilization.run(scale, seed, engine=engine),
-        fig16_balance.run(scale, seed, engine=engine),
-        fig17_sota.run(scale, seed, engine=engine),
-        table4_area.run(engine=engine),
-        table6_network_area.run(engine=engine),
+        _run_module(module, scale, seed, engine)
+        for module in EXPERIMENT_MODULES
     ]
 
 
-def stream_all(scale: str = "small", seed: int = 0,
-               engine: Optional[Engine] = None,
-               on_result: Optional[Callable] = None
-               ) -> List[ExperimentResult]:
-    """:func:`run_all`, but through :meth:`Engine.stream`.
+def assemble_stream(pairs: Iterable[Tuple[int, object]],
+                    scale: str = "small", seed: int = 0,
+                    engine: Optional[Engine] = None
+                    ) -> Iterator[ExperimentResult]:
+    """Assemble experiments incrementally from a stream of spec landings.
+
+    ``pairs`` is any iterator of ``(index, _)`` tuples over
+    :func:`all_specs` positions — :meth:`Engine.stream` output, or a
+    dispatch client's result feed.  Each experiment's table is built and
+    yielded **as soon as its last spec lands** (the engine memo replays
+    the assembly; nothing is recomputed), subject to one ordering rule:
+    experiments emit in paper order, so the concatenated yields are
+    exactly :func:`run_all`'s list and a consumer printing them
+    reproduces the canonical report byte-for-byte — early tables
+    surface while later experiments are still computing, and nothing
+    waits for the whole batch.
+    """
+    engine = engine or default_engine()
+    specs = all_specs(scale, seed)
+    needed = [set(module.specs(scale, seed))
+              for module in EXPERIMENT_MODULES]
+    landed: set = set()
+    position = 0
+    for index, _result in pairs:
+        landed.add(specs[index])
+        while position < len(EXPERIMENT_MODULES) \
+                and needed[position] <= landed:
+            yield _run_module(
+                EXPERIMENT_MODULES[position], scale, seed, engine
+            )
+            position += 1
+    # A fully-consumed stream has landed every spec; anything left (e.g.
+    # an empty spec batch edge case) assembles from the engine memo.
+    while position < len(EXPERIMENT_MODULES):
+        yield _run_module(
+            EXPERIMENT_MODULES[position], scale, seed, engine
+        )
+        position += 1
+
+
+def stream_pairs(scale: str = "small", seed: int = 0,
+                 engine: Optional[Engine] = None,
+                 on_result: Optional[Callable] = None
+                 ) -> Iterator[Tuple[int, object]]:
+    """:meth:`Engine.stream` over :func:`all_specs`, as ``(index,
+    run result)`` pairs ready for :func:`assemble_stream`.
 
     ``on_result(position, total, run_result)`` fires as each spec
-    finishes (completion order); the returned report is assembled from
-    the engine's memo afterwards and is identical to :func:`run_all`'s —
-    streaming changes *when* results surface, never *what* they are.
+    finishes (completion order) — the CLI's progress lines.  Streaming
+    changes *when* results surface, never *what* they are: assembling
+    the pairs reproduces :func:`run_all`'s report exactly.
     """
     engine = engine or default_engine()
     specs = all_specs(scale, seed)
     for done, (index, run_result) in enumerate(engine.stream(specs), 1):
         if on_result is not None:
             on_result(done, len(specs), run_result)
-    return run_all(scale, seed, engine=engine)
+        yield index, run_result
+
+
+def report_header(scale: str, seed: int) -> List[str]:
+    """The ASCII report's header lines.
+
+    Shared by :func:`render_results` and the CLI's incremental streamed
+    emitter — both paths must stay byte-identical.
+    """
+    return [
+        "# Marionette evaluation report",
+        f"(workload scale: {scale}, seed: {seed})",
+        "",
+    ]
 
 
 def render_results(results: List[ExperimentResult], scale: str,
                    seed: int) -> str:
     """The canonical ASCII report for an already-assembled result list."""
-    sections = [
-        "# Marionette evaluation report",
-        f"(workload scale: {scale}, seed: {seed})",
-        "",
-    ]
+    sections = report_header(scale, seed)
     for result in results:
         sections.append(result.to_table())
         sections.append("")

@@ -72,6 +72,35 @@ class TestStats:
         assert stats.last_run_hit_rate == 1.0
         assert 0.0 < stats.aggregate_hit_rate < 1.0
 
+    def test_foreign_and_truncated_files_are_skipped_not_fatal(
+            self, tmp_path, capsys):
+        """A cache dir polluted with non-record JSON must still stat.
+
+        Foreign envelopes can put *anything* in the key fields (an
+        unhashable version, a numeric kind); the stats walk reports
+        them as skipped instead of aborting.
+        """
+        _warm(tmp_path)
+        rogue = tmp_path / "ab"
+        rogue.mkdir(exist_ok=True)
+        (rogue / ("ab" * 31 + "00.json")).write_text(
+            '{"key": {"kind": "trace", "version": [2]}}',
+            encoding="utf-8",
+        )
+        (rogue / ("ab" * 31 + "01.json")).write_text(
+            '{"trunc', encoding="utf-8"
+        )
+        (rogue / ("ab" * 31 + "02.json")).write_text(
+            '[1, 2, 3]', encoding="utf-8"
+        )
+        stats = collect_stats(tmp_path)           # must not raise
+        assert stats.by_kind["trace"] == 2 and stats.by_kind["cycles"] == 4
+        assert stats.by_kind["unknown"] == 3
+        assert stats.by_version[None] == 3
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "skipped: 3 unreadable or foreign files" in out
+
     def test_run_log_is_not_a_cache_entry(self, tmp_path):
         engine = _warm(tmp_path)
         engine.record_run(command="test")

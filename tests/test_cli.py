@@ -51,6 +51,31 @@ class TestCli:
                      "--stats"]) == 2
         assert "requires --format json" in capsys.readouterr().err
 
+    def test_prune_to_budget_requires_cache_dir(self, capsys):
+        assert main(["bench", "--scale", "tiny",
+                     "--prune-to-budget"]) == 2
+        assert "requires --cache-dir" in capsys.readouterr().err
+
+    def test_prune_to_budget_enforces_instead_of_warning(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.engine.cache_admin import usage
+
+        # A budget small enough that any real run exceeds it.
+        monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "0.001")
+        cache_dir = str(tmp_path / "cache")
+        assert main(["bench", "--scale", "tiny",
+                     "--cache-dir", cache_dir]) == 0
+        warned = capsys.readouterr().err
+        assert "warning" in warned and "over" in warned
+        _entries, before = usage(cache_dir)
+        assert before > 1024
+        assert main(["bench", "--scale", "tiny", "--cache-dir", cache_dir,
+                     "--prune-to-budget"]) == 0
+        pruned = capsys.readouterr().err
+        assert "pruned" in pruned and "warning" not in pruned
+        _entries, after = usage(cache_dir)
+        assert after <= 1024 * 1.024  # the 0.001 MiB budget, enforced
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,750 @@
+"""Distributed-subsystem tests: backends, dispatcher, failure paths.
+
+The contract under test mirrors the engine's own invariants, lifted to
+multi-machine scale:
+
+* any ``CacheBackend`` behind a ``TraceCache`` yields the same hits and
+  the same misses (foreign records are misses everywhere);
+* the coordinator's lease/ack protocol delivers every result exactly
+  once, requeues crashed workers' tasks, and fails jobs fast on worker
+  errors;
+* a dispatched ``repro bench`` run is byte-identical to a local one in
+  all three formats, with every functional trace computed exactly once
+  across the fleet;
+* every failure — dead server, version skew, worker crash — surfaces as
+  a one-line :class:`~repro.errors.ReproError` diagnostic (exit 2 at
+  the CLI), never a traceback.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.arch.params import DEFAULT_PARAMS
+from repro.cli import main
+from repro.engine import (
+    Engine,
+    HTTPBackend,
+    LocalBackend,
+    MemoryBackend,
+    ModelSpec,
+    RunSpec,
+    TraceCache,
+    fingerprint,
+    merge_shard_documents,
+    read_shard_export,
+)
+from repro.engine.distributed.coordinator import Coordinator
+from repro.engine.distributed.server import DistributedServer
+from repro.engine.distributed.worker import (
+    CoordinatorClient,
+    dispatch_job,
+    work_loop,
+)
+from repro.engine.spec import trace_cache_key
+from repro.errors import ConfigurationError, DistributedError
+
+VN = ModelSpec.make("von_neumann")
+MARIONETTE = ModelSpec.make("marionette")
+
+SRC_DIR = str(Path(repro.__file__).parents[1])
+
+
+def _specs(scale: str = "tiny"):
+    return [
+        RunSpec(name, scale, 0, model, DEFAULT_PARAMS)
+        for name in ("gemm", "crc", "fft")
+        for model in (VN, MARIONETTE)
+    ]
+
+
+def _payloads(specs):
+    return [spec.to_payload() for spec in specs]
+
+
+def _dead_url() -> str:
+    """A URL on which nothing is listening (refused, not hanging)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"http://127.0.0.1:{port}"
+
+
+@contextlib.contextmanager
+def _not_repro_server():
+    """A live HTTP endpoint that 404s everything — not `repro serve`."""
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class NotRepro(BaseHTTPRequestHandler):
+        def _gone(self):
+            self.send_response(404)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+
+        do_GET = do_PUT = do_POST = do_HEAD = _gone  # noqa: N815
+
+        def log_message(self, *args):  # noqa: A002 - stdlib signature
+            pass
+
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), NotRepro)
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+    try:
+        yield f"http://127.0.0.1:{httpd.server_address[1]}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+@pytest.fixture()
+def server():
+    instance = DistributedServer(
+        MemoryBackend(), Coordinator(lease_timeout=30.0)
+    ).start()
+    yield instance
+    instance.stop()
+
+
+# ----------------------------------------------------------------------
+# Spec wire form
+# ----------------------------------------------------------------------
+class TestSpecWire:
+    def test_payload_roundtrip_preserves_identity(self):
+        spec = RunSpec("gemm", "tiny", 3, ModelSpec.make(
+            "marionette", label="X", control_network=True, agile=False,
+        ), DEFAULT_PARAMS)
+        back = RunSpec.from_payload(
+            json.loads(json.dumps(spec.to_payload()))
+        )
+        assert back == spec
+        assert back.fingerprint() == spec.fingerprint()
+
+    def test_all_bench_specs_roundtrip(self):
+        from repro.experiments.report import all_specs
+
+        for spec in all_specs("tiny", 0):
+            assert RunSpec.from_payload(spec.to_payload()) == spec
+
+    def test_malformed_payload_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            RunSpec.from_payload({"workload": "gemm"})
+
+
+# ----------------------------------------------------------------------
+# Cache backends
+# ----------------------------------------------------------------------
+class TestBackends:
+    @pytest.fixture(params=["local", "memory"])
+    def backend(self, request, tmp_path):
+        if request.param == "local":
+            return LocalBackend(tmp_path)
+        return MemoryBackend()
+
+    def test_get_put_contains_iter(self, backend):
+        digest = "ab" * 32
+        assert backend.get(digest) is None
+        assert not backend.contains(digest)
+        envelope = {"key": {"kind": "trace"}, "payload": {"x": 1}}
+        backend.put(digest, envelope)
+        assert backend.get(digest) == envelope
+        assert backend.contains(digest)
+        assert list(backend.iter_keys()) == [digest]
+
+    def test_trace_cache_over_backend_matches_directory_store(
+            self, tmp_path):
+        key = trace_cache_key("gemm", "tiny", 0)
+        disk = TraceCache(tmp_path / "store")
+        disk.put(key, {"v": 1})
+        shared = TraceCache(backend=LocalBackend(tmp_path / "store"))
+        assert shared.get(key) == {"v": 1}
+        assert shared.disk_hits == 1
+
+    def test_foreign_record_is_a_miss_for_every_backend(self, backend):
+        key = trace_cache_key("gemm", "tiny", 0)
+        backend.put(fingerprint(key), {"not": "an envelope"})
+        cache = TraceCache(backend=backend)
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_root_and_backend_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            TraceCache(tmp_path, backend=MemoryBackend())
+
+
+# ----------------------------------------------------------------------
+# The coordinator protocol (no HTTP: injected clock, direct calls)
+# ----------------------------------------------------------------------
+class TestCoordinator:
+    def _coordinator(self, timeout=60.0):
+        clock = {"now": 0.0}
+        coordinator = Coordinator(
+            lease_timeout=timeout, clock=lambda: clock["now"]
+        )
+        return coordinator, clock
+
+    def test_sims_are_blocked_until_their_trace_is_acked(self):
+        coordinator, _clock = self._coordinator()
+        coordinator.submit(_payloads(_specs()[:2]), scale="tiny", seed=0)
+        first = coordinator.lease("w1")
+        assert first["task"]["kind"] == "trace"
+        # The only trace is leased; its sims are not ready yet.
+        assert coordinator.lease("w2") == {"wait": True}
+        assert coordinator.ack(first["id"], first["lease"], computed=True)
+        assert coordinator.lease("w2")["task"]["kind"] == "sim"
+
+    def test_results_deliver_exactly_once_with_a_cursor(self):
+        coordinator, _clock = self._coordinator()
+        specs = _specs()[:2]
+        coordinator.submit(_payloads(specs), scale="tiny", seed=0)
+        trace = coordinator.lease("w")
+        coordinator.ack(trace["id"], trace["lease"], computed=True)
+        seen = []
+        cursor = 0
+        while True:
+            batch = coordinator.results_since(cursor)
+            seen.extend(tuple(pair) for pair in batch["results"])
+            cursor = batch["completed"]
+            if batch["done"]:
+                break
+            response = coordinator.lease("w")
+            coordinator.ack(response["id"], response["lease"],
+                            result={"cycles": 1})
+        assert sorted(index for index, _payload in seen) == [0, 1]
+        assert len(seen) == 2
+
+    def test_expired_lease_is_requeued_and_stale_ack_discarded(self):
+        coordinator, clock = self._coordinator(timeout=10.0)
+        coordinator.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        doomed = coordinator.lease("crashed-worker")
+        assert doomed["task"]["kind"] == "trace"
+        clock["now"] = 11.0                       # the worker is dead
+        retry = coordinator.lease("survivor")
+        assert retry["task"] == doomed["task"]    # same task, new lease
+        assert retry["lease"] != doomed["lease"]
+        # The dead worker's ack must not count (exactly-once delivery).
+        assert not coordinator.ack(doomed["id"], doomed["lease"],
+                                   computed=True)
+        assert coordinator.ack(retry["id"], retry["lease"], computed=True)
+        stats = coordinator.status()["stats"]
+        assert stats["requeues"] == 1
+        assert stats["stale_acks"] == 1
+        assert stats["traces_computed"] == 1
+
+    def test_renewed_lease_outlives_the_timeout(self):
+        # A slow-but-alive worker heartbeats: renewal pushes the
+        # deadline out, so the task is neither requeued nor recomputed
+        # and the eventual ack still counts.
+        coordinator, clock = self._coordinator(timeout=10.0)
+        coordinator.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        leased = coordinator.lease("slow-worker")
+        clock["now"] = 8.0
+        assert coordinator.renew(leased["id"], leased["lease"])
+        clock["now"] = 15.0                   # past the original deadline
+        assert coordinator.lease("thief") == {"wait": True}
+        assert coordinator.ack(leased["id"], leased["lease"],
+                               computed=True)
+        assert coordinator.status()["stats"]["requeues"] == 0
+
+    def test_stale_renew_is_rejected(self):
+        coordinator, clock = self._coordinator(timeout=10.0)
+        coordinator.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        doomed = coordinator.lease("crashed-worker")
+        clock["now"] = 11.0
+        retry = coordinator.lease("survivor")
+        assert retry["lease"] != doomed["lease"]
+        assert not coordinator.renew(doomed["id"], doomed["lease"])
+        assert coordinator.renew(retry["id"], retry["lease"])
+
+    def test_results_carry_the_job_id(self):
+        coordinator, _clock = self._coordinator()
+        receipt = coordinator.submit(_payloads(_specs()[:1]),
+                                     scale="tiny", seed=0)
+        assert coordinator.results_since(0)["job"] == receipt["job"]
+
+    def test_dead_fleet_is_observable_from_the_results_poll(self):
+        # Requeue must not depend on a worker calling lease(): when the
+        # whole fleet dies, the dispatch client's poll has to reclaim
+        # the expired lease so it can see leased=0 and diagnose the
+        # stall instead of waiting forever.
+        coordinator, clock = self._coordinator(timeout=10.0)
+        coordinator.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        coordinator.lease("doomed-worker")
+        assert coordinator.status()["leased"] == 1
+        clock["now"] = 11.0
+        coordinator.results_since(0)
+        status = coordinator.status()
+        assert status["leased"] == 0
+        assert status["stats"]["requeues"] == 1
+
+    def test_worker_error_fails_the_job_fast(self):
+        coordinator, _clock = self._coordinator()
+        coordinator.submit(_payloads(_specs()[:2]), scale="tiny", seed=0)
+        trace = coordinator.lease("w")
+        assert coordinator.ack(trace["id"], trace["lease"],
+                               error="kernel exploded")
+        verdict = coordinator.results_since(0)
+        assert "kernel exploded" in verdict["failed"]
+        assert coordinator.lease("w") == {"wait": True}
+
+    def test_second_job_rejected_while_one_runs(self):
+        coordinator, _clock = self._coordinator()
+        coordinator.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        with pytest.raises(DistributedError, match="still running"):
+            coordinator.submit(_payloads(_specs()[:1]), scale="tiny",
+                               seed=0)
+
+    def test_drain_tells_workers_to_shut_down(self):
+        coordinator, _clock = self._coordinator()
+        coordinator.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        coordinator.drain()
+        assert coordinator.lease("w") == {"shutdown": True}
+        with pytest.raises(DistributedError, match="shutting down"):
+            coordinator.submit([], scale="tiny", seed=0)
+
+
+# ----------------------------------------------------------------------
+# The HTTP boundary
+# ----------------------------------------------------------------------
+class TestHTTPServer:
+    def test_records_roundtrip_and_contains(self, server):
+        backend = HTTPBackend(server.url)
+        key = trace_cache_key("gemm", "tiny", 0)
+        digest = fingerprint(key)
+        assert backend.get(digest) is None
+        backend.put(digest, {"key": dict(key), "payload": {"x": 1}})
+        assert backend.contains(digest)
+        assert backend.get(digest)["payload"] == {"x": 1}
+        assert list(backend.iter_keys()) == [digest]
+
+    def test_engines_share_records_live_through_the_server(self, server):
+        producer = Engine(backend=HTTPBackend(server.url))
+        assert producer.ensure_trace("gemm", "tiny", 0) is True
+        consumer = Engine(backend=HTTPBackend(server.url))
+        assert consumer.ensure_trace("gemm", "tiny", 0) is False
+        assert consumer.stats.trace_cache_hits == 1
+
+    def test_digest_mismatch_is_rejected(self, server):
+        backend = HTTPBackend(server.url)
+        with pytest.raises(DistributedError, match="HTTP 400"):
+            backend.put("ff" * 32, {"key": {"kind": "trace"},
+                                    "payload": {}})
+
+    def test_version_skew_rejects_the_job(self, server, monkeypatch):
+        import repro.engine.distributed.worker as worker_module
+
+        monkeypatch.setattr(worker_module, "ENGINE_VERSION", -1)
+        client = CoordinatorClient(server.url)
+        with pytest.raises(DistributedError, match="version"):
+            client.check_version()
+        with pytest.raises(DistributedError, match="skew"):
+            client.submit([], scale="tiny", seed=0)
+
+    def test_export_bridges_to_the_shard_merge_path(self, server,
+                                                    tmp_path):
+        specs = _specs()[:2]
+        fleet = Engine(backend=HTTPBackend(server.url))
+        fleet.execute(specs)
+        document = CoordinatorClient(server.url).export(
+            scale="tiny", seed=0
+        )
+        path = tmp_path / "fleet-export.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        merged = merge_shard_documents([read_shard_export(path)])
+        replay = Engine()
+        replay.cache.preload(merged["entries"])
+        results = replay.execute(specs)
+        assert all(run_result.cached for run_result in results)
+        assert replay.stats.simulations == 0
+
+
+# ----------------------------------------------------------------------
+# Failure paths
+# ----------------------------------------------------------------------
+class TestFailurePaths:
+    def test_http_backend_connection_error_is_one_line(self):
+        with pytest.raises(DistributedError) as excinfo:
+            HTTPBackend(_dead_url(), timeout=2.0).get("ab" * 32)
+        assert "\n" not in str(excinfo.value)
+        assert "cannot reach" in str(excinfo.value)
+
+    def test_worker_cli_against_dead_server_exits_2(self, capsys):
+        assert main(["worker", "--connect", _dead_url()]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_dispatch_cli_against_dead_server_exits_2(self, capsys):
+        assert main(["bench", "--scale", "tiny",
+                     "--dispatch", _dead_url()]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_serve_on_an_occupied_port_exits_2(self, capsys):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            assert main(["serve", "--port", str(port)]) == 2
+        finally:
+            blocker.close()
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "cannot serve" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_non_repro_endpoint_is_not_reported_as_version_skew(self):
+        with _not_repro_server() as url:
+            with pytest.raises(DistributedError,
+                               match="does not look like"):
+                CoordinatorClient(url).check_version()
+
+    def test_put_that_lands_nowhere_is_an_error_not_a_silent_drop(self):
+        with _not_repro_server() as url:
+            with pytest.raises(DistributedError, match="not stored"):
+                HTTPBackend(url).put("ab" * 32, {"key": {}, "payload": {}})
+
+    def test_rejected_ack_does_not_count_in_the_summary(self, server):
+        class StaleClient(CoordinatorClient):
+            """Every ack is rejected, as after a lease expiry."""
+
+            def __init__(self, url):
+                super().__init__(url)
+                self.handed_out = False
+
+            def lease(self, worker):
+                if self.handed_out:
+                    return {"shutdown": True}
+                self.handed_out = True
+                return {"task": {"kind": "trace", "workload": "gemm",
+                                 "scale": "tiny", "seed": 0},
+                        "id": "t0", "lease": "L-stale"}
+
+            def ack(self, *args, **kwargs):
+                return False
+
+        fired = []
+        summary = work_loop(server.url, client=StaleClient(server.url),
+                            on_task=lambda kind, task: fired.append(kind))
+        assert summary.traces_computed == 0
+        assert summary.trace_cache_hits == 0
+        assert not fired
+
+    def test_worker_survives_a_job_boundary(self, server):
+        # A wait verdict between tasks is the job boundary where the
+        # worker drops its per-job engine memos; the task after it must
+        # still complete (served from the shared store, not the memo).
+        task = {"kind": "trace", "workload": "gemm", "scale": "tiny",
+                "seed": 0}
+
+        class Sequencer(CoordinatorClient):
+            def __init__(self, url):
+                super().__init__(url)
+                self.sequence = [
+                    {"task": dict(task), "id": "t0", "lease": "L1"},
+                    {"wait": True},
+                    {"task": dict(task), "id": "t1", "lease": "L2"},
+                    {"shutdown": True},
+                ]
+
+            def lease(self, worker):
+                return self.sequence.pop(0)
+
+            def ack(self, *args, **kwargs):
+                return True
+
+        summary = work_loop(server.url, client=Sequencer(server.url),
+                            poll=0.01)
+        assert summary.traces_computed == 1
+        assert summary.trace_cache_hits == 1
+
+    def test_live_renewal_defeats_a_short_lease_timeout(self):
+        # Over real HTTP: a lease renewed faster than it expires stays
+        # live well past the timeout, and the ack still counts.
+        server = DistributedServer(
+            MemoryBackend(), Coordinator(lease_timeout=0.4)
+        ).start()
+        try:
+            client = CoordinatorClient(server.url)
+            client.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+            leased = client.lease("slow-worker")
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                assert client.renew(leased["id"], leased["lease"])
+                client.results_since(0)       # the driver's requeue poll
+                time.sleep(0.1)
+            assert client.ack(leased["id"], leased["lease"],
+                              computed=True)
+            assert client.status()["stats"]["requeues"] == 0
+        finally:
+            server.stop()
+
+    def test_dispatch_rejects_results_from_a_different_job(self):
+        class HijackedQueue:
+            """submit() hands out job 1; results_since() serves job 2."""
+
+            def check_version(self):
+                return {}
+
+            def submit(self, specs, *, scale, seed):
+                return {"job": 1}
+
+            def results_since(self, cursor):
+                return {"job": 2, "results": [[0, {"cycles": 1}]],
+                        "done": True, "failed": None}
+
+        with pytest.raises(DistributedError, match="another driver"):
+            list(dispatch_job(HijackedQueue(), _payloads(_specs()[:1]),
+                              scale="tiny", seed=0))
+
+    def test_out_of_range_result_index_is_a_clean_error(self, capsys,
+                                                        monkeypatch):
+        def bogus_dispatch(client, specs, **kwargs):
+            yield 999, {}
+
+        monkeypatch.setattr(
+            "repro.engine.distributed.worker.dispatch_job",
+            bogus_dispatch,
+        )
+        assert main(["bench", "--scale", "tiny",
+                     "--dispatch", _dead_url()]) == 2
+        captured = capsys.readouterr()
+        assert "outside our" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_shutdown_keeps_serving_while_a_lease_is_in_flight(self):
+        server = DistributedServer(
+            MemoryBackend(), Coordinator(), shutdown_grace=10.0
+        ).start()
+        client = CoordinatorClient(server.url)
+        client.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        leased = client.lease("slow-worker")
+        client.shutdown()
+        # Mid-task ack still lands (drain()'s contract) ...
+        assert client.ack(leased["id"], leased["lease"], computed=True)
+        # ... and the server stops soon after the last lease resolves,
+        # well before the 10s grace cap.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                client.status()
+            except DistributedError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("server kept serving after its leases resolved")
+        server.httpd.server_close()
+
+    def test_worker_ctrl_c_is_a_clean_one_line_exit(self, capsys,
+                                                    monkeypatch):
+        def interrupted(*_args, **_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            "repro.engine.distributed.worker.work_loop", interrupted
+        )
+        assert main(["worker", "--connect", _dead_url()]) == 130
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_malformed_job_body_is_a_400_not_a_server_crash(self, server):
+        client = CoordinatorClient(server.url)
+        with pytest.raises(DistributedError, match="HTTP 400"):
+            client.submit([{"workload": "gemm"}], scale="tiny", seed=0)
+        with pytest.raises(DistributedError, match="HTTP 400"):
+            client.submit(["not-a-spec"], scale="tiny", seed=0)
+        # The handler survived both rejections: the server still answers
+        # and no half-submitted job was left behind.
+        assert client.status()["job"] is None
+
+    def test_dispatch_with_no_workers_stalls_out_with_a_diagnostic(
+            self, server):
+        client = CoordinatorClient(server.url)
+        with pytest.raises(DistributedError, match="stalled"):
+            list(dispatch_job(client, _payloads(_specs()[:1]),
+                              scale="tiny", seed=0,
+                              poll=0.02, stall_timeout=0.3))
+
+    def test_crashed_worker_mid_lease_triggers_requeue(self):
+        # Short leases so the test does not wait on real crash timers.
+        server = DistributedServer(
+            MemoryBackend(), Coordinator(lease_timeout=0.5)
+        ).start()
+        try:
+            client = CoordinatorClient(server.url)
+            specs = _specs()[:2]
+            client.submit(_payloads(specs), scale="tiny", seed=0)
+            # A worker leases the first task and dies without acking.
+            doomed = client.lease("crashed")
+            assert "task" in doomed
+            # A healthy worker loop finishes the whole job anyway.
+            landed = {}
+            poller = threading.Thread(
+                target=lambda: landed.update(
+                    (index, payload) for index, payload
+                    in _poll_results(client)
+                ),
+            )
+            poller.start()
+            summary = work_loop(server.url, poll=0.05, max_idle=2.0,
+                                worker_id="survivor")
+            poller.join(timeout=10.0)
+            assert sorted(landed) == [0, 1]
+            assert client.status()["stats"]["requeues"] >= 1
+            assert summary.sims == 2
+        finally:
+            server.stop()
+
+    def test_worker_task_failure_fails_the_dispatched_job(self, server):
+        client = CoordinatorClient(server.url)
+        bad = {"workload": "no_such_kernel", "scale": "tiny", "seed": 0,
+               "model": VN.token(),
+               "params": _specs()[0].to_payload()["params"]}
+        worker = threading.Thread(
+            target=work_loop, args=(server.url,),
+            kwargs={"poll": 0.05, "max_idle": 2.0},
+        )
+        worker.start()
+        try:
+            with pytest.raises(DistributedError, match="no_such_kernel"):
+                list(dispatch_job(client, [bad], scale="tiny", seed=0,
+                                  poll=0.05))
+        finally:
+            worker.join(timeout=10.0)
+
+    def test_shutdown_drains_workers_cleanly(self, server):
+        client = CoordinatorClient(server.url)
+        summaries = []
+        worker = threading.Thread(
+            target=lambda: summaries.append(
+                work_loop(server.url, poll=0.05)
+            ),
+        )
+        worker.start()
+        client.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        landed = dict(_poll_results(client))
+        client.shutdown()
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        assert summaries and summaries[0].sims == 1
+        assert sorted(landed) == [0]
+
+
+def _poll_results(client: CoordinatorClient):
+    import time as _time
+
+    cursor = 0
+    while True:
+        batch = client.results_since(cursor)
+        for index, payload in batch["results"]:
+            yield index, payload
+            cursor += 1
+        if batch["done"] or batch["failed"]:
+            return
+        _time.sleep(0.05)
+
+
+# ----------------------------------------------------------------------
+# The acceptance end-to-end: real worker processes, byte-identity
+# ----------------------------------------------------------------------
+class TestDispatchEndToEnd:
+    def test_dispatched_reports_are_byte_identical(self, capsys, server):
+        local = {}
+        for fmt in ("ascii", "json", "csv"):
+            assert main(["bench", "--scale", "tiny",
+                         "--format", fmt]) == 0
+            local[fmt] = capsys.readouterr().out
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--connect", server.url, "--poll", "0.05",
+                 "--max-idle", "120"],
+                env=env, stderr=subprocess.PIPE, text=True,
+            )
+            for _ in range(2)
+        ]
+        client = CoordinatorClient(server.url)
+        try:
+            for fmt in ("ascii", "json", "csv"):
+                assert main(["bench", "--scale", "tiny", "--format", fmt,
+                             "--dispatch", server.url]) == 0
+                captured = capsys.readouterr()
+                assert captured.out == local[fmt]
+                # A complete dispatched working set: nothing recomputed.
+                assert "warning" not in captured.err
+
+            # Every functional trace was computed exactly once across
+            # the fleet: the first job computed them all, the later two
+            # were pure shared-cache hits.
+            from repro.experiments.report import all_specs
+
+            distinct = {spec.trace_key()
+                        for spec in all_specs("tiny", 0)}
+            stats = client.status()["stats"]
+            assert stats["traces_computed"] == 0
+            assert stats["trace_cache_hits"] == len(distinct)
+        finally:
+            client.shutdown()
+            for worker in workers:
+                worker.wait(timeout=30)
+        assert all(worker.returncode == 0 for worker in workers)
+        fleet_traces = 0
+        for worker in workers:
+            tail = worker.stderr.read()
+            fleet_traces += int(
+                tail.rsplit("done: ", 1)[1].split(" traces computed")[0]
+            )
+        assert fleet_traces == len(distinct)
+
+    def test_dispatch_stream_prints_progress_and_identical_report(
+            self, capsys, server):
+        assert main(["bench", "--scale", "tiny"]) == 0
+        batch = capsys.readouterr().out
+        worker = threading.Thread(
+            target=work_loop, args=(server.url,),
+            kwargs={"poll": 0.05, "max_idle": 30.0},
+        )
+        worker.start()
+        try:
+            assert main(["bench", "--scale", "tiny", "--stream",
+                         "--dispatch", server.url]) == 0
+            captured = capsys.readouterr()
+            assert captured.out == batch
+            progress = [line for line in captured.err.splitlines()
+                        if line.startswith("[")]
+            assert progress and "cycles" in progress[0]
+        finally:
+            CoordinatorClient(server.url).shutdown()
+            worker.join(timeout=20.0)
+
+
+class TestDispatchFlagValidation:
+    @pytest.mark.parametrize("argv", [
+        ["bench", "--dispatch", "http://x", "--shard", "1/2"],
+        ["bench", "--dispatch", "http://x", "--merge-shards", "a.json"],
+        ["bench", "--dispatch", "http://x", "--jobs", "4"],
+        ["bench", "--dispatch", "http://x", "--cache-dir", "/tmp/c"],
+        ["bench", "--dispatch", "http://x", "--format", "json",
+         "--stats"],
+    ])
+    def test_no_effect_combinations_are_rejected(self, argv, capsys):
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
