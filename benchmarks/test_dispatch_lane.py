@@ -3,7 +3,8 @@
 This is the dynamic counterpart of ``test_shard_lane.py``: instead of a
 static fingerprint-prefix partition, a localhost ``repro serve``
 coordinator hands the ablation sweep's specs to worker *processes* that
-pull work as they go idle and share every trace and cycle record
+pull work as they go idle (two tasks per lease round trip, acks
+piggybacked on the next lease) and share every trace and cycle record
 through the HTTP cache backend.  The assembled tables must be
 byte-identical to the unsharded golden run, every functional trace must
 be computed exactly once across the fleet, and — when the host actually
@@ -39,7 +40,7 @@ def _spawn_worker(url: str) -> subprocess.Popen:
     )
     return subprocess.Popen(
         [sys.executable, "-m", "repro", "worker", "--connect", url,
-         "--poll", "0.05", "--max-idle", "300"],
+         "--poll", "0.05", "--max-idle", "300", "--lease-batch", "2"],
         env=env, stderr=subprocess.DEVNULL,
     )
 

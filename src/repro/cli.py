@@ -16,10 +16,15 @@ Commands:
 * ``serve [--host H] [--port P] [--cache-dir PATH]
   [--lease-timeout S]`` — the distributed endpoint: an HTTP cache
   server (shards and workers share trace/cycle records live) plus the
-  work-stealing coordinator that hands specs to idle workers;
-* ``worker --connect URL [--poll S] [--max-idle S]`` — a pull-loop
-  worker: lease specs from a coordinator, compute against the shared
-  cache, acknowledge results;
+  work-stealing multi-job coordinator that hands specs to idle
+  workers (several ``--dispatch`` drivers can share one fleet; jobs
+  queue FIFO under server-issued ids);
+* ``worker --connect URL [--poll S] [--max-idle S] [--lease-batch N]
+  [--cache-dir PATH]`` — a pull-loop worker: lease up to N specs per
+  round trip from a coordinator (acks piggyback on the next lease),
+  compute against the shared cache — tiered behind a local directory
+  when ``--cache-dir`` is given, the WAN deployment shape — and
+  acknowledge results;
 * ``cache stats|prune --cache-dir PATH`` — cache administration: size,
   entry counts, per-run hit rates from the persisted run log; pruning
   by age, stale engine version, or size budget;
@@ -400,6 +405,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         work_loop,
     )
 
+    if args.lease_batch < 1:
+        print("error: --lease-batch must be at least 1", file=sys.stderr)
+        return 2
     worker = default_worker_id()
 
     def on_task(kind: str, task: dict) -> None:
@@ -418,6 +426,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         summary = work_loop(
             args.connect, poll=args.poll, max_idle=args.max_idle,
             worker_id=worker, on_task=on_task,
+            lease_batch=args.lease_batch, cache_dir=args.cache_dir,
         )
     except KeyboardInterrupt:
         # Same clean exit as `repro serve`: any lease we held expires
@@ -585,7 +594,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: List[str] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The complete ``repro`` argument parser.
+
+    Exposed separately from :func:`main` so tooling (the docs
+    consistency check in ``tests/test_docs.py``) can introspect every
+    subcommand and flag without invoking anything.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Marionette (MICRO'23) reproduction toolkit",
@@ -667,6 +682,17 @@ def main(argv: List[str] = None) -> int:
                           help="exit after this long without work "
                                "(default: serve until the coordinator "
                                "shuts down)")
+    p_worker.add_argument("--lease-batch", type=int, default=1,
+                          metavar="N",
+                          help="lease up to N tasks per round trip and "
+                               "piggyback their acks on the next lease "
+                               "call (default: 1; raise it on "
+                               "high-latency links)")
+    p_worker.add_argument("--cache-dir", default=None, metavar="PATH",
+                          help="tier a local read-through disk cache in "
+                               "front of the server's HTTP cache, so a "
+                               "warm record read costs zero network "
+                               "round trips (WAN fleets)")
     p_worker.set_defaults(fn=_cmd_worker)
 
     p_cache = sub.add_parser("cache", help="cache administration")
@@ -709,8 +735,11 @@ def main(argv: List[str] = None) -> int:
     p_sim.add_argument("--scale", default="small",
                        choices=("tiny", "small", "paper"))
     p_sim.set_defaults(fn=_cmd_simulate)
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except ReproError as error:

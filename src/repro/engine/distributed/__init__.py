@@ -4,10 +4,13 @@ Three layers, one URL:
 
 * :mod:`repro.engine.distributed.backend` — the ``CacheBackend``
   protocol behind :class:`~repro.engine.cache.TraceCache` (local
-  directory, in-memory, HTTP client);
+  directory, in-memory, HTTP client, and the read-through
+  ``TieredBackend`` that puts a local disk tier in front of a remote
+  one for WAN fleets);
 * :mod:`repro.engine.distributed.coordinator` — the work-stealing
-  dispatcher: a lease/ack spec queue with crash requeue and
-  exactly-once result delivery;
+  dispatcher: a FIFO multi-job table whose lease/ack protocol grants
+  batched leases, requeues crashed workers' tasks, and delivers every
+  job's results exactly once, scoped by server-issued job ids;
 * :mod:`repro.engine.distributed.server` — ``repro serve``: one stdlib
   HTTP server exposing the cache backend and the coordinator;
 * :mod:`repro.engine.distributed.worker` — ``repro worker`` pull loops
@@ -27,6 +30,7 @@ from repro.engine.distributed.backend import (
     HTTPBackend,
     LocalBackend,
     MemoryBackend,
+    TieredBackend,
 )
 from repro.engine.distributed.coordinator import (
     Coordinator,
@@ -40,4 +44,5 @@ __all__ = [
     "HTTPBackend",
     "LocalBackend",
     "MemoryBackend",
+    "TieredBackend",
 ]

@@ -1,10 +1,21 @@
-"""The work-stealing dispatcher's coordinator.
+"""The work-stealing dispatcher's multi-job coordinator.
 
 ``--shard K/N`` partitions a sweep *statically* by fingerprint prefix:
 a skewed sweep leaves whole machines idle while one shard grinds.  The
 coordinator replaces the static partition with a dynamic queue — idle
 workers *pull* the next ready task, so the work distributes itself by
 construction, whatever the skew.
+
+**Job table.**  The coordinator owns a FIFO table of jobs, each with a
+server-issued id.  Several drivers share one fleet: a ``submit`` is
+always accepted (unless draining) and queued behind the jobs already
+in the table.  Scheduling is work-conserving FIFO — the oldest
+unfinished job's ready tasks are leased first, and a later job's tasks
+are handed out only while the earlier jobs have nothing ready — so a
+queued job never starves a running one, and spare fleet capacity never
+idles while any job has ready work.  Results, status, and failure are
+all scoped per job id; one job's worker error fails *that* job fast
+and leaves the rest of the table untouched.
 
 One dispatched job is a spec batch plus its derived task graph:
 
@@ -16,21 +27,38 @@ One dispatched job is a spec batch plus its derived task graph:
   acknowledged — so a worker leasing a sim task can rely on the trace
   being resident in the shared cache backend.
 
+Task ids are globally unique (``<job id>:t3`` / ``<job id>:s17``), so
+an ack or renew names its job implicitly and two jobs' tasks can never
+be confused, whatever the interleaving.
+
 Execution follows a lease/ack protocol with the same invariants the
-streaming engine locked down:
+streaming engine locked down, preserved *per job*:
 
 * a lease hands a task to one worker with a deadline; a worker that
   crashes (or stalls) past its deadline loses the lease and the task is
-  requeued for the next idle worker — no task is ever lost;
+  requeued for the next idle worker — no task is ever lost.  Leases are
+  granted in **batches** (:meth:`Coordinator.lease_many`), so a worker
+  on a high-latency link pays one round trip for up to N tasks;
 * an acknowledgement must present the live lease token.  Stale acks
   (from a worker whose lease expired and whose task was re-leased) are
   counted and discarded, so every result is delivered **exactly once**
   and every spec index lands exactly one payload, whatever the worker
-  churn;
-* a worker reporting a task *failure* fails the job fast: the queue is
-  cleared, subsequent leases find no work, and the dispatching client
-  receives the one-line diagnostic — mirroring the engine's clean
-  ``EngineError`` crash path.
+  churn — batched and piggybacked acks included, because each ack is
+  validated against its own token individually;
+* a worker reporting a task *failure* fails its job fast: that job's
+  queues are cleared, every lease it still holds is released (so a
+  dead job can never pin the fleet's "leased" count), and the
+  dispatching client receives the one-line diagnostic — mirroring the
+  engine's clean ``EngineError`` crash path.  Other jobs keep running;
+* ``drain`` stops new submissions and tells lease pollers to shut
+  down; in-flight acks are still accepted, and delivered results stay
+  readable, so a drain never tears a result in half.
+
+Finished jobs are retained (so a slow driver can still poll its
+results) and evicted oldest-first once more than
+:data:`FINISHED_JOB_RETENTION` of them have accumulated; their stats
+are folded into the coordinator-lifetime totals first, so aggregate
+fleet statistics never go backwards.
 
 The coordinator is transport-agnostic (plain method calls under one
 lock); :mod:`repro.engine.distributed.server` exposes it over HTTP next
@@ -42,7 +70,7 @@ from __future__ import annotations
 import threading
 import time
 import uuid
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -50,6 +78,24 @@ from repro.errors import DistributedError
 
 #: Default seconds a worker may hold a lease before it is presumed dead.
 DEFAULT_LEASE_TIMEOUT = 60.0
+
+#: How many *finished* jobs stay pollable before the oldest is evicted.
+FINISHED_JOB_RETENTION = 32
+
+#: Version of the queue wire protocol (job-scoped results, batched
+#: leases).  Checked alongside ``ENGINE_VERSION`` at ``/health`` and
+#: ``/queue/job`` time so a mixed fleet of old and new builds fails
+#: loudly instead of livelocking on a wire-format mismatch.
+PROTOCOL_VERSION = 2
+
+
+def _new_stats() -> Dict[str, int]:
+    return {
+        "traces_computed": 0,   # trace tasks a worker actually simulated
+        "trace_cache_hits": 0,  # trace tasks served from the shared cache
+        "requeues": 0,          # leases reclaimed from crashed workers
+        "stale_acks": 0,        # acks discarded by exactly-once delivery
+    }
 
 
 @dataclass
@@ -81,16 +127,20 @@ class _Job:
     results: List[Tuple[int, dict]] = field(default_factory=list)
     total_sims: int = 0
     failed: Optional[str] = None
-    stats: Dict[str, int] = field(default_factory=lambda: {
-        "traces_computed": 0,   # trace tasks a worker actually simulated
-        "trace_cache_hits": 0,  # trace tasks served from the shared cache
-        "requeues": 0,          # leases reclaimed from crashed workers
-        "stale_acks": 0,        # acks discarded by exactly-once delivery
-    })
+    stats: Dict[str, int] = field(default_factory=_new_stats)
+    # Ids of currently-leased tasks: lease/requeue/status work touches
+    # only live leases, not every task of every retained job.
+    leased: set = field(default_factory=set)
 
     @property
     def done(self) -> bool:
         return self.failed is not None or len(self.results) == self.total_sims
+
+    def release_lease(self, task: _Task) -> None:
+        task.state = "pending"
+        task.lease = None
+        task.worker = None
+        self.leased.discard(task.id)
 
 
 def _trace_key_of(spec_payload: dict) -> Tuple[str, str, int]:
@@ -99,46 +149,44 @@ def _trace_key_of(spec_payload: dict) -> Tuple[str, str, int]:
 
 
 class Coordinator:
-    """Owns the spec queue of dispatched jobs (one active job at a time)."""
+    """Owns the FIFO job table of dispatched spec batches."""
 
     def __init__(self, lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                  clock=time.monotonic) -> None:
         self.lease_timeout = float(lease_timeout)
         self._clock = clock
         self._lock = threading.Lock()
-        self._job: Optional[_Job] = None
+        self._jobs: "OrderedDict[str, _Job]" = OrderedDict()
         self._job_counter = 0
         self._lease_counter = 0
         self._draining = False
+        # Lifetime totals: stats of evicted jobs fold in here, so the
+        # aggregate /queue/status numbers survive job retention.
+        self._evicted_stats = _new_stats()
 
     # -- job lifecycle -------------------------------------------------
     def submit(self, specs: List[dict], scale: str, seed: int) -> dict:
-        """Queue one spec batch; returns the job id and task counts.
+        """Queue one spec batch; returns the job id, counts, position.
 
-        Rejected while another job is still running (one sweep at a
-        time keeps result delivery unambiguous) or while draining.
+        Always accepted unless the coordinator is draining: several
+        drivers share one fleet by queuing jobs FIFO, each scoped by
+        its server-issued id.
         """
         with self._lock:
             if self._draining:
                 raise DistributedError(
                     "coordinator is shutting down and accepts no new jobs"
                 )
-            if self._job is not None and not self._job.done:
-                raise DistributedError(
-                    f"job {self._job.id} is still running "
-                    f"({len(self._job.results)}/{self._job.total_sims} "
-                    f"specs complete) — one dispatched job at a time"
-                )
             self._job_counter += 1
             # The id must be unique across server restarts, not just
             # within this process: a driver polling results by a
             # recycled counter value could silently consume another
             # driver's payloads after a serve crash + resubmit.
-            job = _Job(id=f"{self._job_counter}-{uuid.uuid4().hex[:12]}",
+            job = _Job(id=f"j{self._job_counter}-{uuid.uuid4().hex[:12]}",
                        scale=str(scale), seed=int(seed))
             trace_ids: Dict[Tuple[str, str, int], str] = {}
             for key in sorted({_trace_key_of(spec) for spec in specs}):
-                task_id = f"t{len(trace_ids)}"
+                task_id = f"{job.id}:t{len(trace_ids)}"
                 workload, trace_scale, trace_seed = key
                 job.tasks[task_id] = _Task(
                     id=task_id, kind="trace",
@@ -149,7 +197,7 @@ class Coordinator:
                 job.blocked_sims[task_id] = []
                 trace_ids[key] = task_id
             for index, spec in enumerate(specs):
-                task_id = f"s{index}"
+                task_id = f"{job.id}:s{index}"
                 trace_id = trace_ids[_trace_key_of(spec)]
                 job.tasks[task_id] = _Task(
                     id=task_id, kind="sim",
@@ -158,51 +206,98 @@ class Coordinator:
                 )
                 job.blocked_sims[trace_id].append(task_id)
             job.total_sims = len(specs)
-            self._job = job
+            position = sum(1 for other in self._jobs.values()
+                           if not other.done)
+            self._jobs[job.id] = job
+            self._evict_finished()
             return {"job": job.id, "traces": len(trace_ids),
-                    "sims": len(specs)}
+                    "sims": len(specs), "position": position}
+
+    def _evict_finished(self) -> None:
+        """Drop the oldest finished jobs past the retention window."""
+        finished = [job_id for job_id, job in self._jobs.items()
+                    if job.done]
+        for job_id in finished[:max(0, len(finished)
+                                    - FINISHED_JOB_RETENTION)]:
+            for key, value in self._jobs[job_id].stats.items():
+                self._evicted_stats[key] += value
+            del self._jobs[job_id]
+
+    def _job_of(self, task_id: str) -> Optional[_Job]:
+        """The job a globally-unique task id belongs to, or None."""
+        job_id, _separator, _rest = str(task_id).partition(":")
+        return self._jobs.get(job_id)
 
     # -- the lease/ack protocol ----------------------------------------
-    def _requeue_expired(self, job: _Job) -> None:
+    def _requeue_expired(self) -> None:
+        """Reclaim expired leases (lock held).
+
+        Only live leases are scanned: a finished job holds none — its
+        tasks are all acked, or its failure released them — so the
+        retained-job history costs this hot path nothing.
+        """
         now = self._clock()
-        for task in job.tasks.values():
-            if task.state == "leased" and task.deadline <= now:
-                task.state = "pending"
-                task.lease = None
-                task.worker = None
-                job.stats["requeues"] += 1
-                if task.kind == "trace":
-                    job.trace_queue.appendleft(task.id)
-                else:
-                    job.ready_sims.appendleft(task.id)
+        for job in self._jobs.values():
+            if job.done:
+                continue
+            for task_id in list(job.leased):
+                task = job.tasks[task_id]
+                if task.deadline <= now:
+                    job.release_lease(task)
+                    job.stats["requeues"] += 1
+                    if task.kind == "trace":
+                        job.trace_queue.appendleft(task.id)
+                    else:
+                        job.ready_sims.appendleft(task.id)
 
-    def lease(self, worker: str) -> dict:
-        """The next ready task for ``worker``, or a wait/shutdown verdict.
+    def _next_ready(self) -> Optional[Tuple[_Job, _Task]]:
+        """The next leasable task (and its job), oldest job first."""
+        for job in self._jobs.values():
+            if job.done:
+                continue
+            if job.trace_queue:
+                return job, job.tasks[job.trace_queue.popleft()]
+            if job.ready_sims:
+                return job, job.tasks[job.ready_sims.popleft()]
+        return None
 
-        Responses: ``{"task", "lease"}`` (work to do), ``{"wait": true}``
-        (nothing ready right now — poll again), ``{"shutdown": true}``
-        (the coordinator is draining; exit).
+    def lease_many(self, worker: str, limit: int = 1) -> dict:
+        """Up to ``limit`` ready tasks for ``worker`` in one call.
+
+        Responses: ``{"tasks": [{"task", "id", "lease"}, ...]}`` (work
+        to do), ``{"wait": true}`` (nothing ready right now — poll
+        again), ``{"shutdown": true}`` (the coordinator is draining;
+        exit).  Tasks come oldest-job-first, so one round trip can
+        span a job boundary when the older job is nearly drained.
         """
         with self._lock:
             if self._draining:
                 return {"shutdown": True}
-            job = self._job
-            if job is None or job.failed is not None:
+            self._requeue_expired()
+            grants: List[dict] = []
+            for _ in range(max(1, int(limit))):
+                found = self._next_ready()
+                if found is None:
+                    break
+                job, task = found
+                self._lease_counter += 1
+                task.state = "leased"
+                task.lease = f"L{self._lease_counter}"
+                task.worker = str(worker)
+                task.deadline = self._clock() + self.lease_timeout
+                job.leased.add(task.id)
+                grants.append({"task": dict(task.payload), "id": task.id,
+                               "lease": task.lease})
+            if not grants:
                 return {"wait": True}
-            self._requeue_expired(job)
-            if job.trace_queue:
-                task = job.tasks[job.trace_queue.popleft()]
-            elif job.ready_sims:
-                task = job.tasks[job.ready_sims.popleft()]
-            else:
-                return {"wait": True}
-            self._lease_counter += 1
-            task.state = "leased"
-            task.lease = f"L{self._lease_counter}"
-            task.worker = str(worker)
-            task.deadline = self._clock() + self.lease_timeout
-            return {"task": dict(task.payload), "id": task.id,
-                    "lease": task.lease}
+            return {"tasks": grants}
+
+    def lease(self, worker: str) -> dict:
+        """One ready task for ``worker`` (the batch-of-1 wire form)."""
+        response = self.lease_many(worker, 1)
+        if "tasks" in response:
+            return response["tasks"][0]
+        return response
 
     def renew(self, task_id: str, lease: str) -> bool:
         """Extend a live lease's deadline; False for stale/unknown ones.
@@ -212,10 +307,12 @@ class Coordinator:
         mistaken for crashed ones — without renewal, an expiring lease
         would requeue a task that is still being computed, breaking the
         trace-exactly-once economy (and, with a single worker, stalling
-        the dispatch client for nothing).
+        the dispatch client for nothing).  A worker holding a *batch*
+        renews every lease it still holds, including completed tasks
+        whose acks ride on the next lease call.
         """
         with self._lock:
-            job = self._job
+            job = self._job_of(task_id)
             if job is None:
                 return False
             task = job.tasks.get(task_id)
@@ -232,11 +329,14 @@ class Coordinator:
 
         Exactly-once delivery: only the live lease token is accepted, so
         a worker that lost its lease to the crash-recovery requeue
-        cannot deliver a duplicate (or conflicting) result later.
+        cannot deliver a duplicate (or conflicting) result later.  An
+        ack for an evicted job is stale by definition and discarded the
+        same way.
         """
         with self._lock:
-            job = self._job
+            job = self._job_of(task_id)
             if job is None:
+                self._evicted_stats["stale_acks"] += 1
                 return False
             task = job.tasks.get(task_id)
             if task is None or task.state != "leased" \
@@ -251,11 +351,21 @@ class Coordinator:
                 job.trace_queue.clear()
                 job.ready_sims.clear()
                 job.blocked_sims.clear()
-                task.state = "pending"
-                task.lease = None
+                # Release *every* lease the failed job still holds, not
+                # just the erroring one: a crashed co-worker's lease on
+                # a dead job would otherwise never expire (the expiry
+                # scan skips finished jobs), leaving a phantom "leased"
+                # count that defeats the dispatch stall diagnostic and
+                # stalls the shutdown drain for its full grace window.
+                # In-flight acks from those workers become stale — the
+                # job is dead, so discarding them is the correct side
+                # of exactly-once.
+                for leased_id in list(job.leased):
+                    job.release_lease(job.tasks[leased_id])
                 return True
             task.state = "done"
             task.lease = None
+            job.leased.discard(task.id)
             if task.kind == "trace":
                 key = ("traces_computed" if computed
                        else "trace_cache_hits")
@@ -267,19 +377,25 @@ class Coordinator:
             return True
 
     # -- result delivery ------------------------------------------------
-    def results_since(self, cursor: int) -> dict:
-        """Results landed after ``cursor`` (completion order), plus the
-        job verdict.  The cursor makes client polling exactly-once: each
-        (index, payload) pair is handed out one time per cursor chain."""
+    def results_since(self, job_id: str, cursor: int) -> dict:
+        """``job_id``'s results landed after ``cursor`` (completion
+        order), plus the job verdict.  The cursor makes client polling
+        exactly-once: each (index, payload) pair is handed out one time
+        per cursor chain, and the job id scopes the chain so concurrent
+        drivers can never consume each other's payloads."""
         with self._lock:
-            job = self._job
+            job = self._jobs.get(str(job_id))
             if job is None:
-                raise DistributedError("no job has been dispatched")
+                raise DistributedError(
+                    f"unknown job {job_id!r} — it was never submitted "
+                    f"here, was evicted after finishing, or the server "
+                    f"restarted"
+                )
             # Reclaim expired leases here too: if the whole fleet died,
             # no worker is left to trigger the requeue from lease(), but
             # the dispatch client keeps polling — and needs to observe
             # leased=0 to diagnose the stall instead of waiting forever.
-            self._requeue_expired(job)
+            self._requeue_expired()
             cursor = max(0, int(cursor))
             batch = job.results[cursor:]
             return {
@@ -291,27 +407,50 @@ class Coordinator:
                 "failed": job.failed,
             }
 
-    def status(self) -> dict:
-        """Queue depths, lease counts, and aggregate stats (diagnostics)."""
+    def _job_status(self, job: _Job) -> dict:
+        return {
+            "job": job.id,
+            "scale": job.scale,
+            "seed": job.seed,
+            "total": job.total_sims,
+            "completed": len(job.results),
+            "pending_traces": len(job.trace_queue),
+            "ready_sims": len(job.ready_sims),
+            "leased": len(job.leased),
+            "done": job.done,
+            "failed": job.failed,
+            "stats": dict(job.stats),
+        }
+
+    def status(self, job_id: Optional[str] = None) -> dict:
+        """Queue depths, lease counts, and stats (diagnostics).
+
+        With ``job_id``: that job's view (raises for unknown ids).
+        Without: the fleet overview — every retained job's summary,
+        aggregate lease count, and coordinator-lifetime stats (evicted
+        jobs included).
+        """
         with self._lock:
-            if self._job is None:
-                return {"job": None, "draining": self._draining}
-            job = self._job
-            self._requeue_expired(job)
-            leased = sum(1 for t in job.tasks.values()
-                         if t.state == "leased")
+            self._requeue_expired()
+            if job_id is not None:
+                job = self._jobs.get(str(job_id))
+                if job is None:
+                    raise DistributedError(f"unknown job {job_id!r}")
+                status = self._job_status(job)
+                status["draining"] = self._draining
+                return status
+            stats = dict(self._evicted_stats)
+            for job in self._jobs.values():
+                for key, value in job.stats.items():
+                    stats[key] += value
             return {
-                "job": job.id,
-                "scale": job.scale,
-                "seed": job.seed,
-                "total": job.total_sims,
-                "completed": len(job.results),
-                "pending_traces": len(job.trace_queue),
-                "ready_sims": len(job.ready_sims),
-                "leased": leased,
-                "done": job.done,
-                "failed": job.failed,
-                "stats": dict(job.stats),
+                "jobs": [self._job_status(job)
+                         for job in self._jobs.values()],
+                "active": sum(1 for job in self._jobs.values()
+                              if not job.done),
+                "leased": sum(len(job.leased)
+                              for job in self._jobs.values()),
+                "stats": stats,
                 "draining": self._draining,
             }
 

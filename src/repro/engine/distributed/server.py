@@ -3,22 +3,36 @@
 One stdlib :class:`~http.server.ThreadingHTTPServer` carries both halves
 of the distributed subsystem, so a fleet needs exactly one URL:
 
-====== ============================ =====================================
-method path                         meaning
-====== ============================ =====================================
-GET    ``/health``                  liveness + engine version (skew check)
-GET    ``/records``                 every stored digest
-GET    ``/records/<digest>``        one envelope, or 404
-PUT    ``/records/<digest>``        store an envelope (digest-verified)
-GET    ``/export?scale=S&seed=N``   the store as a mergeable shard export
-POST   ``/queue/job``               dispatch a spec batch
-POST   ``/queue/lease``             pull the next ready task
-POST   ``/queue/renew``             heartbeat: extend a live lease
-POST   ``/queue/ack``               complete/fail a leased task
-GET    ``/queue/results?since=N``   landed results after a cursor
-GET    ``/queue/status``            queue depths + dispatch stats
-POST   ``/admin/shutdown``          drain the coordinator, stop the server
-====== ============================ =====================================
+====== ================================== ===============================
+method path                               meaning
+====== ================================== ===============================
+GET    ``/health``                        liveness + engine version
+GET    ``/records``                       every stored digest
+GET    ``/records/<digest>``              one envelope, or 404
+PUT    ``/records/<digest>``              store an envelope
+                                          (digest-verified)
+GET    ``/export?scale=S&seed=N``         the store as a mergeable
+                                          shard export
+POST   ``/queue/job``                     submit a spec batch; returns
+                                          the server-issued job id
+POST   ``/queue/lease``                   pull up to ``max`` ready
+                                          tasks; piggybacked ``acks``
+                                          are settled first
+POST   ``/queue/renew``                   heartbeat: extend one live
+                                          lease (``{"id", "lease"}``)
+                                          or a batch (``{"renews"}``)
+POST   ``/queue/ack``                     complete/fail one leased task
+GET    ``/queue/results?job=J&since=N``   job J's results after a cursor
+GET    ``/queue/status[?job=J]``          fleet overview, or one job's
+POST   ``/admin/shutdown``                drain the coordinator, stop
+                                          the server
+====== ================================== ===============================
+
+The coordinator behind ``/queue/*`` holds a FIFO **job table** — every
+driver's results poll names its job id, so several ``repro bench
+--dispatch`` drivers share one fleet without ever seeing each other's
+payloads (see :mod:`repro.engine.distributed.coordinator` for the
+scheduling and exactly-once invariants).
 
 Integrity at the boundary: a ``PUT /records/<digest>`` whose body is not
 a ``{"key", "payload"}`` envelope, or whose key does not hash to the
@@ -27,6 +41,9 @@ poison the content-addressed store.  A ``POST /queue/job`` from a client
 built at a different :data:`~repro.engine.cache.ENGINE_VERSION` is
 rejected with 409 — version skew between a bench driver and a worker
 fleet would silently produce cache misses, so it fails loudly instead.
+A results/status poll naming an unknown job id is a 409 with a one-line
+explanation (evicted after finishing, or a restarted server), never a
+silent empty batch.
 
 ``GET /export`` bridges the live subsystem back to the file-based one:
 it renders the server's store as a standard shard-export document, which
@@ -45,7 +62,10 @@ from typing import Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.engine.cache import ENGINE_VERSION, fingerprint
-from repro.engine.distributed.coordinator import Coordinator
+from repro.engine.distributed.coordinator import (
+    Coordinator,
+    PROTOCOL_VERSION,
+)
 from repro.engine.export import backend_export_document
 from repro.errors import DistributedError
 
@@ -114,6 +134,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json({
                 "ok": True,
                 "engine_version": ENGINE_VERSION,
+                "protocol_version": PROTOCOL_VERSION,
                 "backend": self.server.backend.describe(),
                 "lease_timeout": self.server.coordinator.lease_timeout,
             })
@@ -133,18 +154,31 @@ class _Handler(BaseHTTPRequestHandler):
         elif parsed.path == "/queue/results":
             query = parse_qs(parsed.query)
             try:
+                job = query["job"][0]
+            except (KeyError, IndexError):
+                self._send_error_json(
+                    400, "results polls are job-scoped: pass ?job=<id> "
+                         "(the id from your POST /queue/job receipt)"
+                )
+                return
+            try:
                 since = int(query.get("since", ["0"])[0])
             except ValueError:
                 self._send_error_json(400, "since must be an integer")
                 return
             try:
                 self._send_json(
-                    self.server.coordinator.results_since(since)
+                    self.server.coordinator.results_since(job, since)
                 )
             except DistributedError as error:
                 self._send_error_json(409, str(error))
         elif parsed.path == "/queue/status":
-            self._send_json(self.server.coordinator.status())
+            query = parse_qs(parsed.query)
+            job = query.get("job", [None])[0]
+            try:
+                self._send_json(self.server.coordinator.status(job))
+            except DistributedError as error:
+                self._send_error_json(409, str(error))
         else:
             self._send_error_json(404, f"no route for GET {parsed.path}")
 
@@ -199,6 +233,18 @@ class _Handler(BaseHTTPRequestHandler):
                     f"{ENGINE_VERSION}",
                 )
                 return
+            if body.get("protocol_version") != PROTOCOL_VERSION:
+                # The queue wire format (job-scoped results, batched
+                # leases) changed independently of the cache envelope
+                # format; a pre-batching driver would livelock against
+                # this server, so reject it here, loudly.
+                self._send_error_json(
+                    409,
+                    f"queue protocol skew: driver speaks protocol "
+                    f"{body.get('protocol_version')!r}, this server "
+                    f"speaks {PROTOCOL_VERSION} — upgrade the driver",
+                )
+                return
             try:
                 receipt = coordinator.submit(
                     body["specs"], scale=body.get("scale", "small"),
@@ -217,11 +263,59 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(receipt)
         elif path == "/queue/lease":
             body = self._read_json()
-            worker = (body or {}).get("worker", "anonymous") \
-                if isinstance(body, dict) else "anonymous"
-            self._send_json(coordinator.lease(str(worker)))
+            if not isinstance(body, dict):
+                body = {}
+            worker = str(body.get("worker", "anonymous"))
+            if "max" not in body:
+                # A pre-batching worker (old build) sends no "max" and
+                # cannot parse the {"tasks": [...]} response it would
+                # get back; it would treat every grant as "wait" and
+                # livelock the queue.  Fail its first lease instead.
+                self._send_error_json(
+                    400,
+                    f"queue protocol skew: lease has no 'max' — this "
+                    f"server speaks the batched lease protocol "
+                    f"(v{PROTOCOL_VERSION}); upgrade the worker",
+                )
+                return
+            try:
+                limit = max(1, int(body.get("max", 1)))
+            except (TypeError, ValueError):
+                self._send_error_json(400, "max must be an integer")
+                return
+            # Settle piggybacked acks *before* leasing: a trace ack in
+            # the batch may unblock the very sims this lease call is
+            # about to hand out.
+            acked = []
+            acks = body.get("acks")
+            if acks is not None and not isinstance(acks, list):
+                self._send_error_json(400, "acks must be a list")
+                return
+            for entry in acks or []:
+                if not isinstance(entry, dict) or "id" not in entry \
+                        or "lease" not in entry:
+                    acked.append(False)
+                    continue
+                acked.append(coordinator.ack(
+                    str(entry["id"]), str(entry["lease"]),
+                    result=entry.get("result"),
+                    computed=bool(entry.get("computed", False)),
+                    error=entry.get("error"),
+                ))
+            response = coordinator.lease_many(worker, limit)
+            response["acked"] = acked
+            self._send_json(response)
         elif path == "/queue/renew":
             body = self._read_json()
+            if isinstance(body, dict) and isinstance(
+                    body.get("renews"), list):
+                self._send_json({"renewed": [
+                    isinstance(entry, dict)
+                    and coordinator.renew(str(entry.get("id")),
+                                          str(entry.get("lease")))
+                    for entry in body["renews"]
+                ]})
+                return
             if not isinstance(body, dict) or "id" not in body \
                     or "lease" not in body:
                 self._send_error_json(400, "renew body needs id and lease")

@@ -9,18 +9,35 @@ heavy machinery — trace interpretation, model evaluation, content
 addressing — is exactly the single-machine code path; distribution adds
 only the lease/ack envelope around it.
 
+Two knobs amortize the network for WAN fleets:
+
+* ``--lease-batch N`` — one ``POST /queue/lease`` round trip leases up
+  to N tasks, and the acks for a finished batch **piggyback on the next
+  lease call** instead of costing a round trip each.  Failure acks are
+  still sent immediately (the job must fail fast), and the ack-verdict
+  list in the lease response keeps the worker's summary honest: a
+  piggybacked ack rejected by exactly-once delivery is not counted;
+* ``--cache-dir PATH`` — the engine's cache becomes a
+  :class:`~repro.engine.distributed.backend.TieredBackend` (local disk
+  in front of the HTTP backend): a warm ``get`` is served locally with
+  zero network calls, and every ``put`` writes through so the fleet
+  still shares each record.
+
 A **dispatch client** (``repro bench --dispatch URL``) is the other
-side: it submits a spec batch as one job, polls for results with a
-cursor (each spec index delivered exactly once, in completion order),
-and replays the report assembly locally against the shared cache —
-which is why a dispatched report is byte-identical to a local run.
+side: it submits a spec batch as one job (the coordinator issues the
+job id), polls *that job's* results with a cursor (each spec index
+delivered exactly once, in completion order), and replays the report
+assembly locally against the shared cache — which is why a dispatched
+report is byte-identical to a local run, even when several drivers
+share the fleet concurrently.
 
 Failure semantics worth knowing:
 
 * a worker that hits an :class:`~repro.errors.EngineError` on a task
-  acks the *failure*; the coordinator fails the job fast and the
-  dispatch client raises :class:`~repro.errors.DistributedError` with
-  the worker's one-line diagnostic;
+  acks the *failure*; the coordinator fails that job fast (other jobs
+  keep running) and the dispatch client raises
+  :class:`~repro.errors.DistributedError` with the worker's one-line
+  diagnostic;
 * a worker that dies silently simply stops acking — its leases expire
   and the tasks are requeued to surviving workers; if *no* worker
   survives (or none was ever started), the dispatch client notices the
@@ -37,10 +54,17 @@ import socket
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from urllib.parse import quote
 
 from repro.engine.cache import ENGINE_VERSION
-from repro.engine.distributed.backend import HTTPBackend, http_json
+from repro.engine.distributed.coordinator import PROTOCOL_VERSION
+from repro.engine.distributed.backend import (
+    HTTPBackend,
+    LocalBackend,
+    TieredBackend,
+    http_json,
+)
 from repro.errors import DistributedError, ReproError
 
 #: Default seconds between polls when the queue has nothing ready.
@@ -95,21 +119,51 @@ class CoordinatorClient:
                 f"build is {ENGINE_VERSION} — matching builds are "
                 f"required for shared cache records to line up"
             )
+        protocol = health.get("protocol_version")
+        if protocol != PROTOCOL_VERSION:
+            # The queue wire format is versioned separately from the
+            # cache envelope format: a server that predates job-scoped
+            # results and batched leases would livelock this build (and
+            # vice versa), so mixed fleets stop at the health check.
+            raise DistributedError(
+                f"{self.base_url} speaks queue protocol {protocol!r}, "
+                f"this build speaks {PROTOCOL_VERSION} — upgrade the "
+                f"older side; mixed fleets would livelock on the wire "
+                f"format"
+            )
         return health
 
     def submit(self, specs: List[dict], *, scale: str, seed: int) -> dict:
         return self._post("/queue/job", {
             "specs": specs, "scale": scale, "seed": seed,
             "engine_version": ENGINE_VERSION,
+            "protocol_version": PROTOCOL_VERSION,
         })
 
-    def lease(self, worker: str) -> dict:
-        return self._post("/queue/lease", {"worker": worker})
+    def lease(self, worker: str, *, max_tasks: int = 1,
+              acks: Optional[Sequence[dict]] = None) -> dict:
+        """One batched lease round trip: settle ``acks``, pull up to
+        ``max_tasks``.  The response's ``acked`` list gives the
+        per-ack verdicts, in order."""
+        body: dict = {"worker": worker, "max": int(max_tasks)}
+        if acks:
+            body["acks"] = list(acks)
+        return self._post("/queue/lease", body)
 
     def renew(self, task_id: str, lease: str) -> bool:
         return bool(self._post("/queue/renew", {
             "id": task_id, "lease": lease,
         }).get("renewed"))
+
+    def renew_many(self, leases: Sequence[Tuple[str, str]]) -> List[bool]:
+        """Renew a batch of ``(task id, lease)`` pairs in one round trip."""
+        verdicts = self._post("/queue/renew", {
+            "renews": [{"id": task_id, "lease": lease}
+                       for task_id, lease in leases],
+        }).get("renewed")
+        if not isinstance(verdicts, list):
+            return [False] * len(leases)
+        return [bool(verdict) for verdict in verdicts]
 
     def ack(self, task_id: str, lease: str, *,
             result: Optional[dict] = None, computed: bool = False,
@@ -121,11 +175,15 @@ class CoordinatorClient:
             body["error"] = error
         return bool(self._post("/queue/ack", body).get("accepted"))
 
-    def results_since(self, cursor: int) -> dict:
-        return self._get(f"/queue/results?since={int(cursor)}")
+    def results_since(self, job_id: str, cursor: int) -> dict:
+        return self._get(
+            f"/queue/results?job={quote(str(job_id))}&since={int(cursor)}"
+        )
 
-    def status(self) -> dict:
-        return self._get("/queue/status")
+    def status(self, job_id: Optional[str] = None) -> dict:
+        if job_id is None:
+            return self._get("/queue/status")
+        return self._get(f"/queue/status?job={quote(str(job_id))}")
 
     def export(self, *, scale: str, seed: int) -> dict:
         return self._get(f"/export?scale={scale}&seed={int(seed)}")
@@ -147,17 +205,44 @@ class WorkerSummary:
     failures: int = 0
 
 
+def _settle_verdicts(pending: List[dict], verdicts: Sequence[bool],
+                     summary: WorkerSummary,
+                     on_task: Optional[Callable[[str, dict], None]]) -> None:
+    """Fold the coordinator's ack verdicts into the worker summary.
+
+    A rejected ack means the lease expired and the task was redone
+    elsewhere — our result was discarded, so it must not count.
+    """
+    for entry, accepted in zip(pending, verdicts):
+        if not accepted:
+            continue
+        if entry["_kind"] == "trace":
+            if entry["ack"].get("computed"):
+                summary.traces_computed += 1
+            else:
+                summary.trace_cache_hits += 1
+        else:
+            summary.sims += 1
+        if on_task is not None:
+            on_task(entry["_kind"], entry["_task"])
+
+
 def work_loop(url: str, *, poll: float = DEFAULT_POLL,
               max_idle: Optional[float] = None,
               worker_id: Optional[str] = None,
               on_task: Optional[Callable[[str, dict], None]] = None,
-              client: Optional[CoordinatorClient] = None) -> WorkerSummary:
+              client: Optional[CoordinatorClient] = None,
+              lease_batch: int = 1,
+              cache_dir: Optional[str] = None) -> WorkerSummary:
     """Pull tasks from ``url`` until told to shut down (or idled out).
 
     ``max_idle`` bounds how long the loop waits without receiving work
     before exiting on its own — None means serve until the coordinator
-    drains.  ``on_task(kind, detail)`` fires after each completed task
-    (the CLI's progress lines).
+    drains.  ``on_task(kind, detail)`` fires after each task's ack is
+    *accepted* (the CLI's progress lines).  ``lease_batch`` tasks are
+    leased per round trip, and completed-task acks piggyback on the
+    next lease call; ``cache_dir`` tiers a local disk cache in front of
+    the server's HTTP backend (the WAN deployment shape).
     """
     from repro.engine.distributed.coordinator import DEFAULT_LEASE_TIMEOUT
     from repro.engine.executor import Engine
@@ -167,16 +252,35 @@ def work_loop(url: str, *, poll: float = DEFAULT_POLL,
     lease_timeout = float(
         health.get("lease_timeout") or DEFAULT_LEASE_TIMEOUT
     )
-    engine = Engine(backend=HTTPBackend(url))
+    lease_batch = max(1, int(lease_batch))
+
+    def _make_engine() -> Engine:
+        remote = HTTPBackend(url)
+        if cache_dir is not None:
+            return Engine(backend=TieredBackend(LocalBackend(cache_dir),
+                                                remote))
+        return Engine(backend=remote)
+
+    engine = _make_engine()
     worker = worker_id or default_worker_id()
     summary = WorkerSummary()
     idle_since: Optional[float] = None
     tasks_since_idle = 0
+    # Completed-but-unacknowledged tasks, flushed on the next lease
+    # round trip: {"ack": <wire body>, "_kind": ..., "_task": ...}.
+    pending: List[dict] = []
     while True:
-        response = client.lease(worker)
+        response = client.lease(
+            worker, max_tasks=lease_batch,
+            acks=[entry["ack"] for entry in pending],
+        )
+        _settle_verdicts(pending, response.get("acked") or [],
+                         summary, on_task)
+        pending = []
         if response.get("shutdown"):
             break
-        if response.get("wait") or "task" not in response:
+        tasks = response.get("tasks") or []
+        if not tasks:
             now = time.monotonic()
             if idle_since is None:
                 idle_since = now
@@ -185,75 +289,92 @@ def work_loop(url: str, *, poll: float = DEFAULT_POLL,
                     # per-trace/per-spec memos so a serve-indefinitely
                     # worker's memory stays bounded by one sweep's
                     # working set.  The records themselves live on the
-                    # server; anything still needed is one GET away.
-                    engine = Engine(backend=HTTPBackend(url))
+                    # server (and the local tier); anything still
+                    # needed is one GET away.
+                    engine = _make_engine()
                     tasks_since_idle = 0
             if max_idle is not None and now - idle_since >= max_idle:
                 break
             time.sleep(poll)
             continue
         idle_since = None
-        tasks_since_idle += 1
-        task = response["task"]
-        task_id, lease = response["id"], response["lease"]
-        # Heartbeat while computing: a task slower than the lease
-        # timeout must not be mistaken for a crashed worker (the
-        # requeue would recompute it elsewhere and discard our ack).
+        tasks_since_idle += len(tasks)
+        # Heartbeat while computing: every lease in the batch is
+        # renewed — including completed tasks whose acks are waiting
+        # for the next lease call — so a batch slower than the lease
+        # timeout is not mistaken for a crashed worker (the requeue
+        # would recompute its tasks elsewhere and discard our acks).
+        held = {grant["id"]: grant["lease"] for grant in tasks}
         renew_stop = threading.Event()
 
-        def _keep_renewed(task_id=task_id, lease=lease) -> None:
+        def _keep_renewed(held=held) -> None:
             misses = 0
             while not renew_stop.wait(lease_timeout / 3.0):
+                leases = list(held.items())
+                if not leases:
+                    return
                 try:
-                    if not client.renew(task_id, lease):
-                        return   # lease gone: renewing is pointless
+                    verdicts = client.renew_many(leases)
                     misses = 0
                 except DistributedError:
-                    # One transient blip must not cost the lease —
+                    # One transient blip must not cost the leases —
                     # keep trying until a full lease timeout of
                     # consecutive failures says the server is gone.
                     misses += 1
                     if misses >= 3:
                         return
+                    continue
+                if not any(verdicts):
+                    return   # every lease gone: renewing is pointless
 
         renewer = threading.Thread(target=_keep_renewed, daemon=True)
         renewer.start()
+        # Jobs this worker failed while working the batch: their
+        # remaining sibling tasks are dead on arrival (the failure ack
+        # released every lease the job held), so computing them would
+        # only produce stale acks.
+        failed_jobs = set()
         try:
-            if task["kind"] == "trace":
-                computed = engine.ensure_trace(
-                    task["workload"], task["scale"], task["seed"]
-                )
-                # A rejected ack means the lease expired and the task
-                # was redone elsewhere — our result was discarded, so
-                # it must not count in the summary.
-                accepted = client.ack(task_id, lease, computed=computed)
-                if accepted:
-                    if computed:
-                        summary.traces_computed += 1
+            for grant in tasks:
+                task = grant["task"]
+                task_id, lease = grant["id"], grant["lease"]
+                if task_id.partition(":")[0] in failed_jobs:
+                    held.pop(task_id, None)
+                    continue
+                try:
+                    if task["kind"] == "trace":
+                        computed = engine.ensure_trace(
+                            task["workload"], task["scale"], task["seed"]
+                        )
+                        pending.append({
+                            "ack": {"id": task_id, "lease": lease,
+                                    "computed": computed},
+                            "_kind": "trace", "_task": task,
+                        })
                     else:
-                        summary.trace_cache_hits += 1
-            else:
-                from repro.engine.spec import RunSpec
+                        from repro.engine.spec import RunSpec
 
-                spec = RunSpec.from_payload(task["spec"])
-                run_result, = engine.execute([spec])
-                accepted = client.ack(
-                    task_id, lease,
-                    result=run_result.result.to_payload(),
-                )
-                if accepted:
-                    summary.sims += 1
-        except DistributedError:
-            raise             # server went away: the loop cannot go on
-        except ReproError as error:
-            # The task itself failed (bad spec, model crash): report it
-            # so the job fails fast with the diagnostic, then keep
-            # serving — the next job may be fine.
-            client.ack(task_id, lease, error=str(error))
-            summary.failures += 1
-        else:
-            if accepted and on_task is not None:
-                on_task(task["kind"], task)
+                        spec = RunSpec.from_payload(task["spec"])
+                        run_result, = engine.execute([spec])
+                        pending.append({
+                            "ack": {"id": task_id, "lease": lease,
+                                    "computed": False,
+                                    "result":
+                                        run_result.result.to_payload()},
+                            "_kind": "sim", "_task": task,
+                        })
+                except DistributedError:
+                    raise     # server went away: the loop cannot go on
+                except ReproError as error:
+                    # The task itself failed (bad spec, model crash):
+                    # report it *immediately* — piggybacking a failure
+                    # would delay the job's fail-fast verdict — then
+                    # keep serving; the next task may belong to a
+                    # healthy job.
+                    client.ack(task_id, lease, error=str(error))
+                    held.pop(task_id, None)
+                    summary.failures += 1
+                    failed_jobs.add(task_id.partition(":")[0])
         finally:
             renew_stop.set()
     return summary
@@ -271,11 +392,16 @@ def dispatch_job(client: CoordinatorClient, specs: List[dict], *,
 
     Pairs surface in completion order, each index exactly once (the
     cursor protocol), mirroring ``Engine.stream``'s delivery contract.
+    The coordinator issues a job id at submit time and every results
+    poll is scoped by it, so any number of drivers can dispatch onto
+    one fleet concurrently without seeing each other's payloads.
+
     Raises :class:`DistributedError` when the job fails remotely, the
-    server disappears mid-flight, or — after ``stall_timeout`` seconds
-    with no results and no leased tasks — no worker is serving the
-    queue at all (leases held by live workers never trip the timer, so
-    long-running tasks are fine).
+    server disappears mid-flight (a restarted server no longer knows
+    the job id), or — after ``stall_timeout`` seconds with no results
+    and no leased tasks anywhere on the fleet — no worker is serving
+    the queue at all (leases held by live workers never trip the
+    timer, so long-running tasks and a busy fleet are fine).
     """
     client.check_version()
     receipt = client.submit(specs, scale=scale, seed=seed)
@@ -283,15 +409,15 @@ def dispatch_job(client: CoordinatorClient, specs: List[dict], *,
     cursor = 0
     last_progress = time.monotonic()
     while True:
-        batch = client.results_since(cursor)
+        batch = client.results_since(job_id, cursor)
         if batch.get("job") != job_id:
-            # Another driver replaced the job (submit() frees the slot
-            # the instant a job completes): its payloads would preload
-            # under *our* spec digests and silently corrupt the report.
+            # The job-scoped protocol should make this impossible; a
+            # mismatch means the endpoint is not the server we
+            # submitted to (a proxy, a restart with recycled state).
             raise DistributedError(
-                f"coordinator is serving job {batch.get('job')!r}, not "
-                f"our job {job_id!r} — another driver took over the "
-                f"queue mid-poll"
+                f"results poll for job {job_id!r} answered for job "
+                f"{batch.get('job')!r} — is {client.base_url} the "
+                f"server this job was submitted to?"
             )
         if batch.get("failed"):
             raise DistributedError(

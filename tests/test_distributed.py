@@ -4,13 +4,18 @@ The contract under test mirrors the engine's own invariants, lifted to
 multi-machine scale:
 
 * any ``CacheBackend`` behind a ``TraceCache`` yields the same hits and
-  the same misses (foreign records are misses everywhere);
-* the coordinator's lease/ack protocol delivers every result exactly
-  once, requeues crashed workers' tasks, and fails jobs fast on worker
-  errors;
+  the same misses (foreign records are misses everywhere), and the
+  tiered backend serves warm reads with zero remote calls while writing
+  through so the fleet still shares every record;
+* the coordinator's lease/ack protocol delivers every job's results
+  exactly once — batched leases and piggybacked acks included —
+  requeues crashed workers' tasks, fails a job fast on worker errors
+  without touching the other jobs in the FIFO table, and scopes
+  results/status by server-issued job id;
 * a dispatched ``repro bench`` run is byte-identical to a local one in
   all three formats, with every functional trace computed exactly once
-  across the fleet;
+  across the fleet — including two drivers sharing the fleet
+  concurrently;
 * every failure — dead server, version skew, worker crash — surfaces as
   a one-line :class:`~repro.errors.ReproError` diagnostic (exit 2 at
   the CLI), never a traceback.
@@ -206,13 +211,14 @@ class TestCoordinator:
     def test_results_deliver_exactly_once_with_a_cursor(self):
         coordinator, _clock = self._coordinator()
         specs = _specs()[:2]
-        coordinator.submit(_payloads(specs), scale="tiny", seed=0)
+        receipt = coordinator.submit(_payloads(specs), scale="tiny",
+                                     seed=0)
         trace = coordinator.lease("w")
         coordinator.ack(trace["id"], trace["lease"], computed=True)
         seen = []
         cursor = 0
         while True:
-            batch = coordinator.results_since(cursor)
+            batch = coordinator.results_since(receipt["job"], cursor)
             seen.extend(tuple(pair) for pair in batch["results"])
             cursor = batch["completed"]
             if batch["done"]:
@@ -270,7 +276,8 @@ class TestCoordinator:
         coordinator, _clock = self._coordinator()
         receipt = coordinator.submit(_payloads(_specs()[:1]),
                                      scale="tiny", seed=0)
-        assert coordinator.results_since(0)["job"] == receipt["job"]
+        assert coordinator.results_since(receipt["job"], 0)["job"] \
+            == receipt["job"]
 
     def test_dead_fleet_is_observable_from_the_results_poll(self):
         # Requeue must not depend on a worker calling lease(): when the
@@ -278,31 +285,26 @@ class TestCoordinator:
         # the expired lease so it can see leased=0 and diagnose the
         # stall instead of waiting forever.
         coordinator, clock = self._coordinator(timeout=10.0)
-        coordinator.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        receipt = coordinator.submit(_payloads(_specs()[:1]),
+                                     scale="tiny", seed=0)
         coordinator.lease("doomed-worker")
         assert coordinator.status()["leased"] == 1
         clock["now"] = 11.0
-        coordinator.results_since(0)
+        coordinator.results_since(receipt["job"], 0)
         status = coordinator.status()
         assert status["leased"] == 0
         assert status["stats"]["requeues"] == 1
 
     def test_worker_error_fails_the_job_fast(self):
         coordinator, _clock = self._coordinator()
-        coordinator.submit(_payloads(_specs()[:2]), scale="tiny", seed=0)
+        receipt = coordinator.submit(_payloads(_specs()[:2]),
+                                     scale="tiny", seed=0)
         trace = coordinator.lease("w")
         assert coordinator.ack(trace["id"], trace["lease"],
                                error="kernel exploded")
-        verdict = coordinator.results_since(0)
+        verdict = coordinator.results_since(receipt["job"], 0)
         assert "kernel exploded" in verdict["failed"]
         assert coordinator.lease("w") == {"wait": True}
-
-    def test_second_job_rejected_while_one_runs(self):
-        coordinator, _clock = self._coordinator()
-        coordinator.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
-        with pytest.raises(DistributedError, match="still running"):
-            coordinator.submit(_payloads(_specs()[:1]), scale="tiny",
-                               seed=0)
 
     def test_drain_tells_workers_to_shut_down(self):
         coordinator, _clock = self._coordinator()
@@ -311,6 +313,377 @@ class TestCoordinator:
         assert coordinator.lease("w") == {"shutdown": True}
         with pytest.raises(DistributedError, match="shutting down"):
             coordinator.submit([], scale="tiny", seed=0)
+
+
+# ----------------------------------------------------------------------
+# The multi-job table
+# ----------------------------------------------------------------------
+class TestMultiJob:
+    def _coordinator(self, timeout=60.0):
+        clock = {"now": 0.0}
+        coordinator = Coordinator(
+            lease_timeout=timeout, clock=lambda: clock["now"]
+        )
+        return coordinator, clock
+
+    def _finish(self, coordinator, receipt):
+        """Drive one job to completion through the lease protocol."""
+        while True:
+            batch = coordinator.results_since(receipt["job"], 0)
+            if batch["done"]:
+                return batch
+            response = coordinator.lease("finisher")
+            if "task" not in response:
+                pytest.fail("job incomplete but nothing leasable")
+            if response["task"]["kind"] == "trace":
+                coordinator.ack(response["id"], response["lease"],
+                                computed=True)
+            else:
+                coordinator.ack(response["id"], response["lease"],
+                                result={"cycles": 1})
+
+    def test_concurrent_submissions_queue_fifo(self):
+        coordinator, _clock = self._coordinator()
+        first = coordinator.submit(_payloads(_specs()[:2]),
+                                   scale="tiny", seed=0)
+        second = coordinator.submit(_payloads(_specs()[:2]),
+                                    scale="tiny", seed=1)
+        assert first["job"] != second["job"]
+        assert first["position"] == 0
+        assert second["position"] == 1
+        # The older job's tasks are handed out first ...
+        leased = coordinator.lease("w")
+        assert leased["id"].startswith(first["job"])
+        # ... and once it has nothing ready, the fleet spills onto the
+        # younger job instead of idling (work-conserving FIFO).
+        spill = coordinator.lease("w")
+        assert spill["id"].startswith(second["job"])
+
+    def test_results_are_scoped_and_complete_per_job(self):
+        coordinator, _clock = self._coordinator()
+        first = coordinator.submit(_payloads(_specs()[:2]),
+                                   scale="tiny", seed=0)
+        second = coordinator.submit(_payloads(_specs()[:3]),
+                                    scale="tiny", seed=0)
+        batch_one = self._finish(coordinator, first)
+        batch_two = self._finish(coordinator, second)
+        assert batch_one["job"] == first["job"]
+        assert batch_two["job"] == second["job"]
+        assert sorted(i for i, _p in batch_one["results"]) == [0, 1]
+        assert sorted(i for i, _p in batch_two["results"]) == [0, 1, 2]
+
+    def test_failure_is_isolated_to_its_job(self):
+        coordinator, _clock = self._coordinator()
+        doomed = coordinator.submit(_payloads(_specs()[:1]),
+                                    scale="tiny", seed=0)
+        healthy = coordinator.submit(_payloads(_specs()[:1]),
+                                     scale="tiny", seed=0)
+        leased = coordinator.lease("w")
+        assert leased["id"].startswith(doomed["job"])
+        assert coordinator.ack(leased["id"], leased["lease"],
+                               error="kernel exploded")
+        verdict = coordinator.results_since(doomed["job"], 0)
+        assert "kernel exploded" in verdict["failed"]
+        # The healthy job is untouched and still completes.
+        batch = self._finish(coordinator, healthy)
+        assert batch["failed"] is None
+        assert batch["completed"] == 1
+
+    def test_failure_releases_every_lease_the_job_holds(self):
+        # A co-worker is mid-task on a job that another worker just
+        # failed.  Its lease must be released immediately: the expiry
+        # scan skips finished jobs, so a surviving lease would pin the
+        # fleet-wide "leased" count forever — defeating the dispatch
+        # stall diagnostic and stalling the shutdown drain.
+        coordinator, _clock = self._coordinator()
+        coordinator.submit(_payloads(_specs()[:2]), scale="tiny", seed=0)
+        trace = coordinator.lease("setup")
+        coordinator.ack(trace["id"], trace["lease"], computed=True)
+        doomed = coordinator.lease("failer")
+        survivor = coordinator.lease("co-worker")
+        assert coordinator.status()["leased"] == 2
+        assert coordinator.ack(doomed["id"], doomed["lease"],
+                               error="kernel exploded")
+        assert coordinator.status()["leased"] == 0
+        # The co-worker's in-flight ack lands on a dead job: stale.
+        assert not coordinator.ack(survivor["id"], survivor["lease"],
+                                   result={"cycles": 1})
+
+    def test_unknown_job_id_is_a_loud_error(self):
+        coordinator, _clock = self._coordinator()
+        with pytest.raises(DistributedError, match="unknown job"):
+            coordinator.results_since("no-such-job", 0)
+        with pytest.raises(DistributedError, match="unknown job"):
+            coordinator.status("no-such-job")
+
+    def test_finished_jobs_are_evicted_but_stats_survive(self):
+        from repro.engine.distributed.coordinator import (
+            FINISHED_JOB_RETENTION,
+        )
+
+        coordinator, _clock = self._coordinator()
+        receipts = []
+        for _ in range(FINISHED_JOB_RETENTION + 3):
+            receipt = coordinator.submit(_payloads(_specs()[:1]),
+                                         scale="tiny", seed=0)
+            self._finish(coordinator, receipt)
+            receipts.append(receipt)
+        # The oldest finished jobs fell off the table ...
+        with pytest.raises(DistributedError, match="unknown job"):
+            coordinator.results_since(receipts[0]["job"], 0)
+        # ... the newest is still pollable ...
+        assert coordinator.results_since(receipts[-1]["job"], 0)["done"]
+        # ... and the aggregate stats absorbed the evicted jobs.
+        stats = coordinator.status()["stats"]
+        assert stats["traces_computed"] == len(receipts)
+
+    def test_per_job_status_view(self):
+        coordinator, _clock = self._coordinator()
+        receipt = coordinator.submit(_payloads(_specs()[:2]),
+                                     scale="tiny", seed=0)
+        status = coordinator.status(receipt["job"])
+        assert status["job"] == receipt["job"]
+        assert status["total"] == 2
+        assert not status["done"]
+        overview = coordinator.status()
+        assert [job["job"] for job in overview["jobs"]] \
+            == [receipt["job"]]
+        assert overview["active"] == 1
+
+
+# ----------------------------------------------------------------------
+# Batched leases and piggybacked acks
+# ----------------------------------------------------------------------
+class TestBatchedLease:
+    def _coordinator(self, timeout=60.0):
+        clock = {"now": 0.0}
+        coordinator = Coordinator(
+            lease_timeout=timeout, clock=lambda: clock["now"]
+        )
+        return coordinator, clock
+
+    def test_lease_many_grants_up_to_the_limit(self):
+        coordinator, _clock = self._coordinator()
+        coordinator.submit(_payloads(_specs()[:4]), scale="tiny", seed=0)
+        trace = coordinator.lease("w")
+        assert trace["task"]["kind"] == "trace"
+        coordinator.ack(trace["id"], trace["lease"], computed=True)
+        second_trace = coordinator.lease("w")
+        coordinator.ack(second_trace["id"], second_trace["lease"],
+                        computed=True)
+        batch = coordinator.lease_many("w", 3)
+        assert len(batch["tasks"]) == 3
+        assert {grant["task"]["kind"] for grant in batch["tasks"]} \
+            == {"sim"}
+        # The leases are distinct; each ack lands exactly once.
+        leases = {grant["lease"] for grant in batch["tasks"]}
+        assert len(leases) == 3
+
+    def test_batched_lease_spans_a_job_boundary(self):
+        coordinator, _clock = self._coordinator()
+        first = coordinator.submit(_payloads(_specs()[:1]),
+                                   scale="tiny", seed=0)
+        second = coordinator.submit(_payloads(_specs()[:1]),
+                                    scale="tiny", seed=0)
+        batch = coordinator.lease_many("w", 4)
+        owners = {grant["id"].rsplit(":", 1)[0]
+                  for grant in batch["tasks"]}
+        assert owners == {first["job"], second["job"]}
+
+    def test_batched_leases_preserve_exactly_once_under_requeue(self):
+        # A worker leases a whole batch and crashes; the survivor
+        # re-leases the tasks, and the dead worker's piggybacked acks
+        # (stale tokens) are discarded one by one — every task still
+        # lands exactly one result.
+        coordinator, clock = self._coordinator(timeout=10.0)
+        receipt = coordinator.submit(_payloads(_specs()[:2]),
+                                     scale="tiny", seed=0)
+        trace = coordinator.lease("setup")
+        coordinator.ack(trace["id"], trace["lease"], computed=True)
+        doomed = coordinator.lease_many("doomed", 2)
+        assert len(doomed["tasks"]) == 2
+        clock["now"] = 11.0                      # the batch expired
+        survivor = coordinator.lease_many("survivor", 2)
+        assert {g["id"] for g in survivor["tasks"]} \
+            == {g["id"] for g in doomed["tasks"]}
+        for grant in survivor["tasks"]:
+            assert coordinator.ack(grant["id"], grant["lease"],
+                                   result={"cycles": 1})
+        # The dead worker's batch of acks arrives late: all stale.
+        for grant in doomed["tasks"]:
+            assert not coordinator.ack(grant["id"], grant["lease"],
+                                       result={"cycles": 999})
+        batch = coordinator.results_since(receipt["job"], 0)
+        assert sorted(i for i, _p in batch["results"]) == [0, 1]
+        assert all(p == {"cycles": 1} for _i, p in batch["results"])
+        stats = coordinator.status()["stats"]
+        assert stats["requeues"] == 2
+        assert stats["stale_acks"] == 2
+
+    def test_http_lease_settles_piggybacked_acks_first(self, server):
+        # One round trip: the trace ack rides on the lease call and is
+        # settled *before* leasing, so the very sims it unblocks come
+        # back in the same response.
+        client = CoordinatorClient(server.url)
+        client.submit(_payloads(_specs()[:2]), scale="tiny", seed=0)
+        first = client.lease("w", max_tasks=1)
+        grant = first["tasks"][0]
+        assert grant["task"]["kind"] == "trace"
+        response = client.lease("w", max_tasks=2, acks=[
+            {"id": grant["id"], "lease": grant["lease"],
+             "computed": True},
+        ])
+        assert response["acked"] == [True]
+        assert len(response["tasks"]) == 2
+        assert {g["task"]["kind"] for g in response["tasks"]} == {"sim"}
+
+    def test_http_lease_reports_stale_ack_verdicts(self, server):
+        client = CoordinatorClient(server.url)
+        client.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        first = client.lease("w", max_tasks=1)
+        grant = first["tasks"][0]
+        response = client.lease("w", max_tasks=1, acks=[
+            {"id": grant["id"], "lease": "L-not-mine", "computed": True},
+            {"not": "an ack"},
+        ])
+        assert response["acked"] == [False, False]
+
+    def test_http_batched_renew(self, server):
+        client = CoordinatorClient(server.url)
+        client.submit(_payloads(_specs()[:2]), scale="tiny", seed=0)
+        first = client.lease("w", max_tasks=1)
+        grant = first["tasks"][0]
+        verdicts = client.renew_many([
+            (grant["id"], grant["lease"]),
+            ("bogus-task", "L-bogus"),
+        ])
+        assert verdicts == [True, False]
+
+    def test_worker_cli_rejects_a_zero_lease_batch(self, capsys):
+        assert main(["worker", "--connect", "http://localhost:1",
+                     "--lease-batch", "0"]) == 2
+        assert "--lease-batch" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The tiered (read-through) backend
+# ----------------------------------------------------------------------
+class RecordingBackend:
+    """Wraps a backend and counts every call — the network-call meter."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = {"get": 0, "put": 0, "contains": 0, "iter_keys": 0}
+
+    def get(self, digest):
+        self.calls["get"] += 1
+        return self.inner.get(digest)
+
+    def put(self, digest, envelope):
+        self.calls["put"] += 1
+        self.inner.put(digest, envelope)
+
+    def contains(self, digest):
+        self.calls["contains"] += 1
+        return self.inner.contains(digest)
+
+    def iter_keys(self):
+        self.calls["iter_keys"] += 1
+        return self.inner.iter_keys()
+
+    def describe(self):
+        return f"recording({self.inner.describe()})"
+
+
+class TestTieredBackend:
+    def _tiered(self, tmp_path):
+        from repro.engine.distributed.backend import TieredBackend
+
+        remote = RecordingBackend(MemoryBackend())
+        tiered = TieredBackend(LocalBackend(tmp_path / "tier"), remote)
+        return tiered, remote
+
+    def test_warm_get_performs_zero_remote_calls(self, tmp_path):
+        tiered, remote = self._tiered(tmp_path)
+        digest = "ab" * 32
+        envelope = {"key": {"kind": "trace"}, "payload": {"x": 1}}
+        remote.inner.put(digest, envelope)
+        assert tiered.get(digest) == envelope       # cold: one remote GET
+        assert remote.calls["get"] == 1
+        assert tiered.get(digest) == envelope       # warm: served locally
+        assert tiered.get(digest) == envelope
+        assert remote.calls["get"] == 1             # still exactly one
+
+    def test_put_writes_through_to_both_tiers(self, tmp_path):
+        tiered, remote = self._tiered(tmp_path)
+        digest = "cd" * 32
+        envelope = {"key": {"kind": "trace"}, "payload": {"y": 2}}
+        tiered.put(digest, envelope)
+        assert remote.calls["put"] == 1
+        assert remote.inner.get(digest) == envelope  # the fleet sees it
+        assert tiered.local.get(digest) == envelope  # and so do we, free
+        assert tiered.get(digest) == envelope
+        assert remote.calls["get"] == 0
+
+    def test_contains_falls_back_to_the_remote(self, tmp_path):
+        tiered, remote = self._tiered(tmp_path)
+        digest = "ef" * 32
+        assert not tiered.contains(digest)
+        remote.inner.put(digest, {"key": {}, "payload": {}})
+        assert tiered.contains(digest)               # remote-only: found
+        tiered.local.put(digest, {"key": {}, "payload": {}})
+        calls_before = remote.calls["contains"]
+        assert tiered.contains(digest)               # local now answers
+        assert remote.calls["contains"] == calls_before
+
+    def test_iter_keys_unions_both_tiers(self, tmp_path):
+        tiered, remote = self._tiered(tmp_path)
+        shared = "ab" * 32
+        tiered.local.put(shared, {"key": {}, "payload": {}})
+        tiered.local.put("cd" * 32, {"key": {}, "payload": {}})
+        remote.inner.put(shared, {"key": {}, "payload": {}})
+        remote.inner.put("ef" * 32, {"key": {}, "payload": {}})
+        assert sorted(tiered.iter_keys()) \
+            == sorted({shared, "cd" * 32, "ef" * 32})
+
+    def test_trace_cache_warm_reads_skip_the_server(self, server,
+                                                    tmp_path):
+        # The deployment shape: an engine whose cache is tiered over
+        # the live HTTP backend.  After the first read, re-reads of
+        # the same record never touch the network.
+        from repro.engine.distributed.backend import TieredBackend
+
+        producer = Engine(backend=HTTPBackend(server.url))
+        assert producer.ensure_trace("gemm", "tiny", 0) is True
+
+        remote = RecordingBackend(HTTPBackend(server.url))
+        tiered = TieredBackend(LocalBackend(tmp_path / "tier"), remote)
+        key = trace_cache_key("gemm", "tiny", 0)
+        warm_cache = TraceCache(backend=tiered)
+        assert warm_cache.get(key) is not None       # cold: one HTTP GET
+        assert remote.calls["get"] == 1
+        # A *fresh* TraceCache (no memo) over the same tier: zero HTTP.
+        rewarmed = TraceCache(backend=tiered)
+        assert rewarmed.get(key) is not None
+        assert remote.calls["get"] == 1
+
+    def test_worker_with_cache_dir_populates_the_local_tier(
+            self, server, tmp_path):
+        tier = tmp_path / "worker-tier"
+        client = CoordinatorClient(server.url)
+        client.submit(_payloads(_specs()[:2]), scale="tiny", seed=0)
+        worker = threading.Thread(
+            target=work_loop, args=(server.url,),
+            kwargs={"poll": 0.05, "max_idle": 2.0,
+                    "cache_dir": str(tier), "lease_batch": 2},
+        )
+        worker.start()
+        landed = dict(_poll_results(client,
+                                    client.status()["jobs"][0]["job"]))
+        worker.join(timeout=30.0)
+        assert sorted(landed) == [0, 1]
+        # Everything the worker computed is in its local tier too.
+        assert list(LocalBackend(tier).iter_keys())
 
 
 # ----------------------------------------------------------------------
@@ -349,6 +722,26 @@ class TestHTTPServer:
             client.check_version()
         with pytest.raises(DistributedError, match="skew"):
             client.submit([], scale="tiny", seed=0)
+
+    def test_queue_protocol_skew_rejects_driver_and_worker(
+            self, server, monkeypatch):
+        # The queue wire format is versioned separately from the cache
+        # envelope format: a build from before job-scoped results /
+        # batched leases must be told to upgrade, not left to livelock.
+        import repro.engine.distributed.worker as worker_module
+        from repro.engine.distributed.backend import http_json
+
+        monkeypatch.setattr(worker_module, "PROTOCOL_VERSION", -1)
+        client = CoordinatorClient(server.url)
+        with pytest.raises(DistributedError, match="protocol"):
+            client.check_version()
+        with pytest.raises(DistributedError, match="protocol skew"):
+            client.submit([], scale="tiny", seed=0)
+        # An old worker's lease body has no "max": its very first
+        # lease call fails with the upgrade diagnostic.
+        with pytest.raises(DistributedError, match="upgrade the worker"):
+            http_json("POST", f"{server.url}/queue/lease",
+                      body={"worker": "ancient"})
 
     def test_export_bridges_to_the_shard_merge_path(self, server,
                                                     tmp_path):
@@ -424,13 +817,17 @@ class TestFailurePaths:
                 super().__init__(url)
                 self.handed_out = False
 
-            def lease(self, worker):
+            def lease(self, worker, *, max_tasks=1, acks=None):
+                # Piggybacked acks all come back rejected (stale).
+                verdicts = [False] * len(acks or [])
                 if self.handed_out:
-                    return {"shutdown": True}
+                    return {"shutdown": True, "acked": verdicts}
                 self.handed_out = True
-                return {"task": {"kind": "trace", "workload": "gemm",
-                                 "scale": "tiny", "seed": 0},
-                        "id": "t0", "lease": "L-stale"}
+                return {"tasks": [{"task": {"kind": "trace",
+                                            "workload": "gemm",
+                                            "scale": "tiny", "seed": 0},
+                                   "id": "t0", "lease": "L-stale"}],
+                        "acked": verdicts}
 
             def ack(self, *args, **kwargs):
                 return False
@@ -441,6 +838,47 @@ class TestFailurePaths:
         assert summary.traces_computed == 0
         assert summary.trace_cache_hits == 0
         assert not fired
+
+    def test_failed_batch_siblings_are_skipped_not_computed(self, server):
+        # A worker fails one task of a leased batch: the remaining
+        # tasks of the *same job* are dead on arrival (the failure ack
+        # released their leases), so the worker must skip them instead
+        # of burning compute on acks that can only bounce as stale.
+        class BatchFailer(CoordinatorClient):
+            def __init__(self, url):
+                super().__init__(url)
+                self.handed_out = False
+                self.error_acks = []
+                self.piggybacked = []
+
+            def lease(self, worker, *, max_tasks=1, acks=None):
+                self.piggybacked.extend(acks or [])
+                verdicts = [True] * len(acks or [])
+                if self.handed_out:
+                    return {"shutdown": True, "acked": verdicts}
+                self.handed_out = True
+                bad = {"kind": "sim", "index": 0,
+                       "spec": {"workload": "gemm"}}     # malformed
+                sibling = {"kind": "trace", "workload": "gemm",
+                           "scale": "tiny", "seed": 0}
+                return {"tasks": [
+                    {"task": bad, "id": "j9-dead:s0", "lease": "L1"},
+                    {"task": dict(sibling), "id": "j9-dead:t0",
+                     "lease": "L2"},
+                ], "acked": verdicts}
+
+            def ack(self, task_id, lease, **kwargs):
+                self.error_acks.append((task_id, kwargs.get("error")))
+                return True
+
+        client = BatchFailer(server.url)
+        summary = work_loop(server.url, client=client)
+        assert summary.failures == 1
+        assert [task_id for task_id, _err in client.error_acks] \
+            == ["j9-dead:s0"]
+        # The sibling was neither computed nor acknowledged.
+        assert client.piggybacked == []
+        assert summary.traces_computed == 0
 
     def test_worker_survives_a_job_boundary(self, server):
         # A wait verdict between tasks is the job boundary where the
@@ -453,14 +891,18 @@ class TestFailurePaths:
             def __init__(self, url):
                 super().__init__(url)
                 self.sequence = [
-                    {"task": dict(task), "id": "t0", "lease": "L1"},
+                    {"tasks": [{"task": dict(task), "id": "t0",
+                                "lease": "L1"}]},
                     {"wait": True},
-                    {"task": dict(task), "id": "t1", "lease": "L2"},
+                    {"tasks": [{"task": dict(task), "id": "t1",
+                                "lease": "L2"}]},
                     {"shutdown": True},
                 ]
 
-            def lease(self, worker):
-                return self.sequence.pop(0)
+            def lease(self, worker, *, max_tasks=1, acks=None):
+                response = dict(self.sequence.pop(0))
+                response["acked"] = [True] * len(acks or [])
+                return response
 
             def ack(self, *args, **kwargs):
                 return True
@@ -478,12 +920,14 @@ class TestFailurePaths:
         ).start()
         try:
             client = CoordinatorClient(server.url)
-            client.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
-            leased = client.lease("slow-worker")
+            receipt = client.submit(_payloads(_specs()[:1]),
+                                    scale="tiny", seed=0)
+            leased = client.lease("slow-worker")["tasks"][0]
             deadline = time.monotonic() + 1.0
             while time.monotonic() < deadline:
                 assert client.renew(leased["id"], leased["lease"])
-                client.results_since(0)       # the driver's requeue poll
+                # The driver's requeue poll must not steal the lease.
+                client.results_since(receipt["job"], 0)
                 time.sleep(0.1)
             assert client.ack(leased["id"], leased["lease"],
                               computed=True)
@@ -495,17 +939,19 @@ class TestFailurePaths:
         class HijackedQueue:
             """submit() hands out job 1; results_since() serves job 2."""
 
+            base_url = "http://hijacked"
+
             def check_version(self):
                 return {}
 
             def submit(self, specs, *, scale, seed):
                 return {"job": 1}
 
-            def results_since(self, cursor):
+            def results_since(self, job_id, cursor):
                 return {"job": 2, "results": [[0, {"cycles": 1}]],
                         "done": True, "failed": None}
 
-        with pytest.raises(DistributedError, match="another driver"):
+        with pytest.raises(DistributedError, match="answered for job"):
             list(dispatch_job(HijackedQueue(), _payloads(_specs()[:1]),
                               scale="tiny", seed=0))
 
@@ -530,7 +976,7 @@ class TestFailurePaths:
         ).start()
         client = CoordinatorClient(server.url)
         client.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
-        leased = client.lease("slow-worker")
+        leased = client.lease("slow-worker")["tasks"][0]
         client.shutdown()
         # Mid-task ack still lands (drain()'s contract) ...
         assert client.ack(leased["id"], leased["lease"], computed=True)
@@ -568,7 +1014,7 @@ class TestFailurePaths:
             client.submit(["not-a-spec"], scale="tiny", seed=0)
         # The handler survived both rejections: the server still answers
         # and no half-submitted job was left behind.
-        assert client.status()["job"] is None
+        assert client.status()["jobs"] == []
 
     def test_dispatch_with_no_workers_stalls_out_with_a_diagnostic(
             self, server):
@@ -586,16 +1032,17 @@ class TestFailurePaths:
         try:
             client = CoordinatorClient(server.url)
             specs = _specs()[:2]
-            client.submit(_payloads(specs), scale="tiny", seed=0)
+            receipt = client.submit(_payloads(specs), scale="tiny",
+                                    seed=0)
             # A worker leases the first task and dies without acking.
             doomed = client.lease("crashed")
-            assert "task" in doomed
+            assert doomed.get("tasks")
             # A healthy worker loop finishes the whole job anyway.
             landed = {}
             poller = threading.Thread(
                 target=lambda: landed.update(
                     (index, payload) for index, payload
-                    in _poll_results(client)
+                    in _poll_results(client, receipt["job"])
                 ),
             )
             poller.start()
@@ -634,8 +1081,9 @@ class TestFailurePaths:
             ),
         )
         worker.start()
-        client.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
-        landed = dict(_poll_results(client))
+        receipt = client.submit(_payloads(_specs()[:1]), scale="tiny",
+                                seed=0)
+        landed = dict(_poll_results(client, receipt["job"]))
         client.shutdown()
         worker.join(timeout=10.0)
         assert not worker.is_alive()
@@ -643,12 +1091,12 @@ class TestFailurePaths:
         assert sorted(landed) == [0]
 
 
-def _poll_results(client: CoordinatorClient):
+def _poll_results(client: CoordinatorClient, job_id: str):
     import time as _time
 
     cursor = 0
     while True:
-        batch = client.results_since(cursor)
+        batch = client.results_since(job_id, cursor)
         for index, payload in batch["results"]:
             yield index, payload
             cursor += 1
@@ -661,7 +1109,8 @@ def _poll_results(client: CoordinatorClient):
 # The acceptance end-to-end: real worker processes, byte-identity
 # ----------------------------------------------------------------------
 class TestDispatchEndToEnd:
-    def test_dispatched_reports_are_byte_identical(self, capsys, server):
+    def test_dispatched_reports_are_byte_identical(self, capsys, server,
+                                                   tmp_path):
         local = {}
         for fmt in ("ascii", "json", "csv"):
             assert main(["bench", "--scale", "tiny",
@@ -672,14 +1121,21 @@ class TestDispatchEndToEnd:
         env["PYTHONPATH"] = SRC_DIR + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
         )
+        # One plain worker and one exercising the WAN shape: batched
+        # leases plus a tiered local cache.
+        worker_flags = [
+            [],
+            ["--lease-batch", "3",
+             "--cache-dir", str(tmp_path / "tier")],
+        ]
         workers = [
             subprocess.Popen(
                 [sys.executable, "-m", "repro", "worker",
                  "--connect", server.url, "--poll", "0.05",
-                 "--max-idle", "120"],
+                 "--max-idle", "120", *flags],
                 env=env, stderr=subprocess.PIPE, text=True,
             )
-            for _ in range(2)
+            for flags in worker_flags
         ]
         client = CoordinatorClient(server.url)
         try:
@@ -693,14 +1149,15 @@ class TestDispatchEndToEnd:
 
             # Every functional trace was computed exactly once across
             # the fleet: the first job computed them all, the later two
-            # were pure shared-cache hits.
+            # jobs were pure shared-cache hits (the status stats
+            # aggregate over the whole job table).
             from repro.experiments.report import all_specs
 
             distinct = {spec.trace_key()
                         for spec in all_specs("tiny", 0)}
             stats = client.status()["stats"]
-            assert stats["traces_computed"] == 0
-            assert stats["trace_cache_hits"] == len(distinct)
+            assert stats["traces_computed"] == len(distinct)
+            assert stats["trace_cache_hits"] == 2 * len(distinct)
         finally:
             client.shutdown()
             for worker in workers:
@@ -713,6 +1170,64 @@ class TestDispatchEndToEnd:
                 tail.rsplit("done: ", 1)[1].split(" traces computed")[0]
             )
         assert fleet_traces == len(distinct)
+
+    def test_two_concurrent_drivers_share_one_fleet(self, server):
+        # The multi-job acceptance: two drivers dispatch different
+        # sweeps onto one fleet *at the same time*.  Each must receive
+        # a disjoint, complete result set scoped by its job id, and
+        # each assembled report must be byte-identical to the same
+        # sweep run locally.
+        from repro.experiments.report import all_specs, render_report
+
+        local = {seed: render_report("tiny", seed) for seed in (0, 1)}
+
+        reports = {}
+        failures = []
+
+        def drive(seed: int) -> None:
+            try:
+                client = CoordinatorClient(server.url)
+                specs = all_specs("tiny", seed)
+                engine = Engine(backend=HTTPBackend(server.url))
+                landed = list(dispatch_job(
+                    client, [spec.to_payload() for spec in specs],
+                    scale="tiny", seed=seed, poll=0.02,
+                ))
+                # Complete: every spec index, exactly once.
+                assert sorted(index for index, _payload in landed) \
+                    == list(range(len(specs)))
+                for index, payload in landed:
+                    engine.cache.preload(
+                        {fingerprint(specs[index].cache_key()): payload}
+                    )
+                reports[seed] = render_report("tiny", seed,
+                                              engine=engine)
+                # Byte-identity is only meaningful if the replay
+                # recomputed nothing: the payloads all came from our
+                # own job.
+                assert engine.stats.simulations == 0
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                failures.append(error)
+
+        fleet = [
+            threading.Thread(
+                target=work_loop, args=(server.url,),
+                kwargs={"poll": 0.05, "max_idle": 10.0,
+                        "lease_batch": 2, "worker_id": f"fleet-{n}"},
+            )
+            for n in (1, 2)
+        ]
+        drivers = [threading.Thread(target=drive, args=(seed,))
+                   for seed in (0, 1)]
+        for thread in fleet + drivers:
+            thread.start()
+        for thread in drivers:
+            thread.join(timeout=300.0)
+        for thread in fleet:
+            thread.join(timeout=300.0)
+        assert not failures, failures[0]
+        assert reports[0] == local[0]
+        assert reports[1] == local[1]
 
     def test_dispatch_stream_prints_progress_and_identical_report(
             self, capsys, server):

@@ -1,0 +1,110 @@
+"""Docs-consistency checks: the CLI reference cannot drift silently.
+
+``docs/CLI.md`` claims to be the *complete* reference for the ``repro``
+command line.  These tests hold it to that: every subcommand (including
+nested ones like ``cache stats``) and every flag that
+:func:`repro.cli.build_parser` defines must appear in the document, and
+— the reverse direction — every ``--flag`` token the document mentions
+must actually exist in the parser, so removed flags cannot linger as
+documented fiction.  The README's pointers into ``docs/`` are checked
+the same way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+from pathlib import Path
+
+from repro.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CLI_DOC = REPO_ROOT / "docs" / "CLI.md"
+README = REPO_ROOT / "README.md"
+
+#: Flags that are argparse plumbing, not part of the documented surface.
+_IGNORED_FLAGS = {"-h", "--help"}
+
+
+def _walk_commands(parser: argparse.ArgumentParser, prefix: str = ""):
+    """Yield ``(command path, subparser)`` for every (nested) subcommand."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                path = f"{prefix}{name}"
+                yield path, sub
+                yield from _walk_commands(sub, prefix=f"{path} ")
+
+
+def _flags_of(parser: argparse.ArgumentParser):
+    for action in parser._actions:
+        for option in action.option_strings:
+            if option not in _IGNORED_FLAGS:
+                yield option
+
+
+class TestCLIReference:
+    def test_reference_exists(self):
+        assert CLI_DOC.is_file(), "docs/CLI.md is missing"
+
+    def test_every_subcommand_is_documented(self):
+        text = CLI_DOC.read_text(encoding="utf-8")
+        commands = [path for path, _sub in _walk_commands(build_parser())]
+        assert commands, "parser defines no subcommands?"
+        missing = [path for path in commands
+                   if f"repro {path}" not in text]
+        assert not missing, (
+            f"subcommands missing from docs/CLI.md: {missing} — "
+            f"document each as a 'repro <command>' section"
+        )
+
+    def test_every_flag_is_documented(self):
+        text = CLI_DOC.read_text(encoding="utf-8")
+        missing = []
+        for path, sub in _walk_commands(build_parser()):
+            for flag in _flags_of(sub):
+                if flag not in text:
+                    missing.append(f"{path} {flag}")
+        assert not missing, (
+            f"flags missing from docs/CLI.md: {missing}"
+        )
+
+    def test_documented_flags_all_exist(self):
+        # The reverse direction: a flag removed from the CLI must be
+        # removed from the reference too.
+        known = set()
+        for _path, sub in _walk_commands(build_parser()):
+            known.update(_flags_of(sub))
+        documented = set(re.findall(r"--[a-z][a-z0-9-]*",
+                                    CLI_DOC.read_text(encoding="utf-8")))
+        stale = documented - known
+        assert not stale, (
+            f"docs/CLI.md documents flags the CLI does not define: "
+            f"{sorted(stale)}"
+        )
+
+    def test_exit_code_conventions_are_documented(self):
+        text = CLI_DOC.read_text(encoding="utf-8")
+        for needle in ("Exit codes", "`2`", "`130`", "error:"):
+            assert needle in text, (
+                f"docs/CLI.md lost its exit-code conventions "
+                f"({needle!r} not found)"
+            )
+
+
+class TestREADME:
+    def test_readme_exists_and_links_the_docs(self):
+        assert README.is_file(), "top-level README.md is missing"
+        text = README.read_text(encoding="utf-8")
+        for target in ("docs/CLI.md", "docs/ENGINE.md",
+                       "docs/DISTRIBUTED.md", "examples/"):
+            assert target in text, f"README.md does not point at {target}"
+
+    def test_readme_names_every_subcommand(self):
+        text = README.read_text(encoding="utf-8")
+        top_level = [path for path, _sub in _walk_commands(build_parser())
+                     if " " not in path]
+        missing = [name for name in top_level if name not in text]
+        assert not missing, (
+            f"README.md never mentions subcommands: {missing}"
+        )
