@@ -6,19 +6,23 @@ Commands:
 * ``bench [--scale S] [--seed N] [--jobs N] [--cache-dir PATH]
   [--format ascii|json|csv] [--stream] [--shard K/N]
   [--export-shard PATH] [--merge-shards PATH...] [--dispatch URL]
-  [--prune-to-budget]`` — the full report through the parallel
-  experiment engine, with on-disk trace caching, machine-readable
-  exports, streaming per-spec progress, fingerprint-prefix sharding
-  across CI jobs (shard runs emit a mergeable export;
-  ``--merge-shards`` reassembles the canonical report, byte-identical
-  to an unsharded run), and dynamic dispatch to a ``repro serve``
-  worker fleet (``--dispatch``, also byte-identical);
+  [--prune-to-budget] [--profile] [--profile-out PATH]`` — the full
+  report through the parallel experiment engine, with on-disk trace
+  caching, machine-readable exports, streaming per-spec progress,
+  fingerprint-prefix sharding across CI jobs (shard runs emit a
+  mergeable export; ``--merge-shards`` reassembles the canonical
+  report, byte-identical to an unsharded run), dynamic dispatch to a
+  ``repro serve`` worker fleet (``--dispatch``, also byte-identical),
+  and phase profiling (``--profile`` times the trace / per-model
+  simulate / assemble phases and writes a ``BENCH_<timestamp>.json``
+  perf-trajectory record — the report itself is unchanged);
 * ``serve [--host H] [--port P] [--cache-dir PATH]
-  [--lease-timeout S]`` — the distributed endpoint: an HTTP cache
-  server (shards and workers share trace/cycle records live) plus the
-  work-stealing multi-job coordinator that hands specs to idle
-  workers (several ``--dispatch`` drivers can share one fleet; jobs
-  queue FIFO under server-issued ids);
+  [--lease-timeout S] [--schedule fifo|fair]`` — the distributed
+  endpoint: an HTTP cache server (shards and workers share
+  trace/cycle records live) plus the work-stealing multi-job
+  coordinator that hands specs to idle workers (several
+  ``--dispatch`` drivers can share one fleet; jobs queue FIFO under
+  server-issued ids, or round-robin with ``--schedule fair``);
 * ``worker --connect URL [--poll S] [--max-idle S] [--lease-batch N]
   [--cache-dir PATH]`` — a pull-loop worker: lease up to N specs per
   round trip from a coordinator (acks piggyback on the next lease),
@@ -204,6 +208,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("error: --prune-to-budget requires --cache-dir (there is "
               "no local cache to prune)", file=sys.stderr)
         return 2
+    if args.profile and (args.stream or args.shard or args.merge_shards
+                         or args.dispatch):
+        print("error: --profile times the local batch phases — it cannot "
+              "be combined with --stream/--shard/--merge-shards/"
+              "--dispatch", file=sys.stderr)
+        return 2
+    if args.profile and args.stats:
+        print("error: --stats embeds engine counters in the stdout "
+              "document, which the profiler's phased execution would "
+              "skew — the per-phase deltas live in the --profile JSON "
+              "instead", file=sys.stderr)
+        return 2
+    if args.profile_out and not args.profile:
+        print("error: --profile-out requires --profile", file=sys.stderr)
+        return 2
     if args.shard and (args.format is not None or args.stats):
         print("error: --format/--stats have no effect with --shard — a "
               "shard run emits a shard export, not a report",
@@ -286,6 +305,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         _finish_bench_run(engine, args, shard=f"{index}/{count}")
         return 0
 
+    if args.profile:
+        return _run_profiled(engine, args)
+
     if args.stream:
         from repro.experiments.report import stream_pairs
 
@@ -298,6 +320,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         results = run_all(args.scale, args.seed, engine=engine)
         _emit_report(results, args)
     _finish_bench_run(engine, args)
+    return 0
+
+
+def _run_profiled(engine, args) -> int:
+    """``repro bench --profile``: the batch report with phase timings.
+
+    Runs the same specs as a plain batch bench, split into timed phases
+    (functional traces, then each architecture model's simulations, then
+    the cached-replay report assembly) and writes the machine-readable
+    ``BENCH_<timestamp>.json`` perf-trajectory record.  The report on
+    stdout stays byte-identical to an unprofiled run — the profile is a
+    side artifact, like the engine's run log.
+    """
+    import time
+
+    from repro.engine import BenchProfiler
+    from repro.experiments.report import all_specs, run_all
+
+    profiler = BenchProfiler(engine)
+    specs = all_specs(args.scale, args.seed)
+    profiler.run_engine_phases(specs)
+    # run_all replays the now-warm memo and assembles every experiment
+    # table — the report comes out of this phase, so "assemble" also
+    # measures the warm-cache replay cost.
+    results = profiler.phase(
+        "assemble", lambda: run_all(args.scale, args.seed, engine=engine)
+    )
+    _emit_report(results, args)
+    document = profiler.document(scale=args.scale, seed=args.seed,
+                                 jobs=args.jobs, spec_count=len(specs))
+    path = args.profile_out or time.strftime(
+        "BENCH_%Y%m%dT%H%M%SZ.json", time.gmtime()
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for phase in profiler.phases:
+        print(f"profile: {phase['phase']}: {phase['seconds']:.3f}s",
+              file=sys.stderr)
+    print(f"profile: {document['total_seconds']:.3f}s total over "
+          f"{len(specs)} specs -> {path}", file=sys.stderr)
+    _finish_bench_run(engine, args, profile=str(path))
     return 0
 
 
@@ -375,7 +439,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         server = DistributedServer(
             backend,
-            Coordinator(lease_timeout=args.lease_timeout),
+            Coordinator(lease_timeout=args.lease_timeout,
+                        schedule=args.schedule),
             host=args.host, port=args.port,
         )
     except OSError as error:
@@ -386,7 +451,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ) from error
     print(
         f"serving cache + coordinator on {server.url} "
-        f"({backend.describe()}, engine v{ENGINE_VERSION}) — stop with "
+        f"({backend.describe()}, engine v{ENGINE_VERSION}, "
+        f"{args.schedule} scheduling) — stop with "
         f"Ctrl-C or POST {server.url}/admin/shutdown",
         file=sys.stderr,
     )
@@ -649,6 +715,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="after the run, prune the cache down to "
                               "the size budget instead of only warning "
                               "(requires --cache-dir)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="time the run's phases (traces, per-model "
+                              "simulation, report assembly) and write a "
+                              "machine-readable BENCH_<timestamp>.json "
+                              "perf-trajectory record (the report itself "
+                              "is unchanged)")
+    p_bench.add_argument("--profile-out", default=None, metavar="PATH",
+                         help="write the --profile document here instead "
+                              "of the timestamped default")
     p_bench.set_defaults(fn=_cmd_bench)
 
     p_serve = sub.add_parser(
@@ -666,6 +741,14 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SEC",
                          help="seconds a worker may hold a task before "
                               "it is requeued to the fleet")
+    p_serve.add_argument("--schedule", default="fifo",
+                         choices=("fifo", "fair"),
+                         help="lease scheduling across queued jobs: "
+                              "'fifo' drains the oldest job first "
+                              "(spare capacity spills to younger jobs); "
+                              "'fair' round-robins leases across active "
+                              "jobs so a long sweep cannot monopolize "
+                              "the fleet")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_worker = sub.add_parser(

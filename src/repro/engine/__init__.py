@@ -32,6 +32,8 @@ from repro.engine.distributed import (
     MemoryBackend,
 )
 from repro.engine.executor import (
+    BENCH_PROFILE_SCHEMA,
+    BenchProfiler,
     Engine,
     EngineStats,
     KernelRun,
@@ -59,6 +61,8 @@ from repro.engine.spec import (
 )
 
 __all__ = [
+    "BENCH_PROFILE_SCHEMA",
+    "BenchProfiler",
     "CacheBackend",
     "Coordinator",
     "ENGINE_VERSION",

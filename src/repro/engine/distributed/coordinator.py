@@ -9,13 +9,18 @@ construction, whatever the skew.
 **Job table.**  The coordinator owns a FIFO table of jobs, each with a
 server-issued id.  Several drivers share one fleet: a ``submit`` is
 always accepted (unless draining) and queued behind the jobs already
-in the table.  Scheduling is work-conserving FIFO — the oldest
-unfinished job's ready tasks are leased first, and a later job's tasks
-are handed out only while the earlier jobs have nothing ready — so a
-queued job never starves a running one, and spare fleet capacity never
-idles while any job has ready work.  Results, status, and failure are
-all scoped per job id; one job's worker error fails *that* job fast
-and leaves the rest of the table untouched.
+in the table.  The default scheduling policy is work-conserving FIFO —
+the oldest unfinished job's ready tasks are leased first, and a later
+job's tasks are handed out only while the earlier jobs have nothing
+ready — so a queued job never starves a running one, and spare fleet
+capacity never idles while any job has ready work.  The opt-in
+``schedule="fair"`` policy (``repro serve --schedule fair``) instead
+round-robins lease grants across the active jobs, so a long parameter
+sweep cannot monopolize the fleet ahead of short jobs submitted after
+it; both policies are work-conserving (a job with nothing ready is
+skipped, never waited on).  Results, status, and failure are all
+scoped per job id; one job's worker error fails *that* job fast and
+leaves the rest of the table untouched.
 
 One dispatched job is a spec batch plus its derived task graph:
 
@@ -148,18 +153,30 @@ def _trace_key_of(spec_payload: dict) -> Tuple[str, str, int]:
             int(spec_payload["seed"]))
 
 
+#: Lease scheduling policies across queued jobs.
+SCHEDULES = ("fifo", "fair")
+
+
 class Coordinator:
-    """Owns the FIFO job table of dispatched spec batches."""
+    """Owns the job table of dispatched spec batches."""
 
     def __init__(self, lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic, schedule: str = "fifo") -> None:
+        if schedule not in SCHEDULES:
+            raise DistributedError(
+                f"unknown schedule {schedule!r}; pick one of {SCHEDULES}"
+            )
         self.lease_timeout = float(lease_timeout)
+        self.schedule = schedule
         self._clock = clock
         self._lock = threading.Lock()
         self._jobs: "OrderedDict[str, _Job]" = OrderedDict()
         self._job_counter = 0
         self._lease_counter = 0
         self._draining = False
+        # Fair-share rotation: id of the job served by the previous
+        # grant, so the next grant starts looking *after* it.
+        self._last_served: Optional[str] = None
         # Lifetime totals: stats of evicted jobs fold in here, so the
         # aggregate /queue/status numbers survive job retention.
         self._evicted_stats = _new_stats()
@@ -250,15 +267,40 @@ class Coordinator:
                     else:
                         job.ready_sims.appendleft(task.id)
 
+    def _pop_ready(self, job: _Job) -> Optional[_Task]:
+        """Pop ``job``'s next ready task (traces unblock sims: first)."""
+        if job.trace_queue:
+            return job.tasks[job.trace_queue.popleft()]
+        if job.ready_sims:
+            return job.tasks[job.ready_sims.popleft()]
+        return None
+
+    def _candidate_jobs(self) -> List[_Job]:
+        """Jobs in the order this grant should consider them.
+
+        ``fifo``: submission order — the oldest unfinished job first.
+        ``fair``: submission order rotated to start just after the job
+        the previous grant served, so consecutive grants round-robin
+        across active jobs; a job with nothing ready is skipped (both
+        policies are work-conserving).
+        """
+        jobs = list(self._jobs.values())
+        if self.schedule == "fair" and self._last_served is not None:
+            ids = [job.id for job in jobs]
+            if self._last_served in ids:
+                pivot = ids.index(self._last_served) + 1
+                jobs = jobs[pivot:] + jobs[:pivot]
+        return jobs
+
     def _next_ready(self) -> Optional[Tuple[_Job, _Task]]:
-        """The next leasable task (and its job), oldest job first."""
-        for job in self._jobs.values():
+        """The next leasable task (and its job) under the schedule."""
+        for job in self._candidate_jobs():
             if job.done:
                 continue
-            if job.trace_queue:
-                return job, job.tasks[job.trace_queue.popleft()]
-            if job.ready_sims:
-                return job, job.tasks[job.ready_sims.popleft()]
+            task = self._pop_ready(job)
+            if task is not None:
+                self._last_served = job.id
+                return job, task
         return None
 
     def lease_many(self, worker: str, limit: int = 1) -> dict:
@@ -446,6 +488,7 @@ class Coordinator:
             return {
                 "jobs": [self._job_status(job)
                          for job in self._jobs.values()],
+                "schedule": self.schedule,
                 "active": sum(1 for job in self._jobs.values()
                               if not job.done),
                 "leased": sum(len(job.leased)

@@ -31,9 +31,11 @@ cache's run log, where ``repro cache stats`` turns them into hit rates.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import (
+    Callable,
     Dict,
     Iterator,
     List,
@@ -527,12 +529,11 @@ class Engine:
         A warm persistent cache satisfies cycle lookups without ever
         reading traces, so a shard export built from such a run would be
         missing the trace records the merged report reads.  Touching each
-        distinct trace key here (cache hit, or compute as a last resort)
-        makes the export self-contained regardless of cache warmth.
+        distinct trace key here (cache hit, or compute — in parallel with
+        ``jobs > 1`` — as a last resort) makes the export self-contained
+        regardless of cache warmth.
         """
-        for key in sorted({spec.trace_key() for spec in specs}):
-            if not self._lookup_trace(key):
-                self._compute_trace(key)
+        self._ensure_traces({spec.trace_key() for spec in specs})
 
     def ensure_trace(self, workload: str, scale: str, seed: int) -> bool:
         """Make one functional trace resident; True when computed here.
@@ -565,6 +566,102 @@ class Engine:
         record = dict(context)
         record["stats"] = self.stats.as_dict()
         self.cache.record_run(record)
+
+
+# ----------------------------------------------------------------------
+# Bench profiling (`repro bench --profile`)
+# ----------------------------------------------------------------------
+#: Schema tag carried by every profile document this build writes.
+BENCH_PROFILE_SCHEMA = "repro.bench.profile/1"
+
+
+class BenchProfiler:
+    """Times a bench run's phases and emits the ``BENCH_*.json`` document.
+
+    The perf trajectory's unit of record: wall-clock seconds plus the
+    :class:`EngineStats` delta per phase, so a reader can tell a
+    cold-trace run (``traces_computed > 0`` in the ``trace`` phase) from
+    a warm-cache one (``trace_cache_hits`` / ``sim_cache_hits``) without
+    comparing absolute times across machines.  The document schema is
+    specified in docs/ENGINE.md ("Performance"); bump
+    :data:`BENCH_PROFILE_SCHEMA` when it changes.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.phases: List[Dict[str, object]] = []
+        self._started = time.perf_counter()
+        self._created = time.time()  # schema: unix time the run started
+
+    def phase(self, name: str, fn: Callable[[], object], *,
+              specs: Optional[int] = None) -> object:
+        """Run ``fn`` as the named phase; returns its result."""
+        before = self.engine.stats.as_dict()
+        start = time.perf_counter()
+        result = fn()
+        seconds = time.perf_counter() - start
+        after = self.engine.stats.as_dict()
+        record: Dict[str, object] = {
+            "phase": name,
+            "seconds": seconds,
+            "stats_delta": {
+                key: after[key] - before[key]
+                for key in after if after[key] != before[key]
+            },
+        }
+        if specs is not None:
+            record["specs"] = specs
+        self.phases.append(record)
+        return result
+
+    def run_engine_phases(self, specs: Sequence[RunSpec]
+                          ) -> List[RunResult]:
+        """The engine-side phases of a profiled bench run.
+
+        One ``trace`` phase ensures every distinct functional trace is
+        resident (the expensive part on a cold cache), then one
+        ``simulate:<model>`` phase per architecture model prices that
+        model's specs.  Each spec is executed exactly once across the
+        partitions, so the reassembled result list is exactly what one
+        ``execute(specs)`` batch returns.
+        """
+        self.phase(
+            "trace", lambda: self.engine.prefetch_traces(specs),
+            specs=len({spec.trace_key() for spec in specs}),
+        )
+        by_model: Dict[str, List[Tuple[int, RunSpec]]] = {}
+        for index, spec in enumerate(specs):
+            label = spec.model.label or spec.model.model
+            by_model.setdefault(label, []).append((index, spec))
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        for label, items in by_model.items():
+            subspecs = [spec for _index, spec in items]
+            outcomes = self.phase(
+                f"simulate:{label}",
+                lambda subspecs=subspecs: self.engine.execute(subspecs),
+                specs=len(items),
+            )
+            for (index, _spec), outcome in zip(items, outcomes):
+                results[index] = outcome
+        return list(results)
+
+    def document(self, *, scale: str, seed: int, jobs: int,
+                 spec_count: int) -> Dict[str, object]:
+        """The machine-readable profile (see docs/ENGINE.md for schema)."""
+        from repro.engine.cache import ENGINE_VERSION
+
+        return {
+            "schema": BENCH_PROFILE_SCHEMA,
+            "created": self._created,
+            "engine_version": ENGINE_VERSION,
+            "scale": scale,
+            "seed": seed,
+            "jobs": jobs,
+            "spec_count": spec_count,
+            "phases": self.phases,
+            "total_seconds": time.perf_counter() - self._started,
+            "engine_stats": self.engine.stats.as_dict(),
+        }
 
 
 # ----------------------------------------------------------------------

@@ -16,6 +16,7 @@ end, and follow terminators until ``Halt``.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -157,6 +158,26 @@ class _BlockProgram:
         return namespace["_bb"]
 
 
+#: Compiled block programs, cached per CDFG object across Interpreter
+#: instances.  Workload instances, repeated ``run()`` calls, and tests
+#: re-interpret the same (immutable-after-build) CDFG many times; the
+#: template JIT is the dominant setup cost, so pay it once.  Weak keys
+#: let a discarded kernel free its compiled code.
+_COMPILED_CACHE: "weakref.WeakKeyDictionary[CDFG, List[_BlockProgram]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _compiled_programs(cdfg: CDFG) -> List[_BlockProgram]:
+    programs = _COMPILED_CACHE.get(cdfg)
+    if programs is None or len(programs) != len(cdfg.blocks):
+        programs = [
+            _BlockProgram(cdfg.name, block) for block in cdfg.blocks
+        ]
+        _COMPILED_CACHE[cdfg] = programs
+    return programs
+
+
 class Interpreter:
     """Executes a CDFG against concrete memory and parameters."""
 
@@ -167,9 +188,7 @@ class Interpreter:
         self.engine = engine
         self._programs: Optional[List[_BlockProgram]] = None
         if engine == "compiled":
-            self._programs = [
-                _BlockProgram(cdfg.name, block) for block in cdfg.blocks
-            ]
+            self._programs = _compiled_programs(cdfg)
 
     # ------------------------------------------------------------------
     def run(

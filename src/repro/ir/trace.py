@@ -39,35 +39,58 @@ class DynamicTrace:
     # Recording (used by the interpreter)
     # ------------------------------------------------------------------
     def record(self, block: BlockId) -> None:
-        """Record one execution of ``block``."""
+        """Record one execution of ``block``.
+
+        The common case — another execution of the block already open —
+        is a single integer bump: the run's contribution to
+        ``exec_counts`` is folded in when the run *closes* (a different
+        block arrives, or :meth:`finish`).  The interpreter's inner loop
+        therefore does no dict churn while a block re-executes, and
+        ``exec_counts`` / ``edge_counts`` are complete only once the
+        trace is finished (which is when every consumer reads them —
+        the engine caches finished traces only).  ``execs_of`` and
+        ``total_block_execs`` do account for the still-open run, so
+        those two stay exact even mid-recording.
+        """
         if block == self._open_block:
             self._open_count += 1
-        else:
-            if self._open_block is not None:
-                self.runs.append(Run(self._open_block, self._open_count))
-                self.edge_counts[(self._open_block, block)] = (
-                    self.edge_counts.get((self._open_block, block), 0) + 1
-                )
-            self._open_block = block
-            self._open_count = 1
-        self.exec_counts[block] = self.exec_counts.get(block, 0) + 1
+            return
+        self._close_open_run(block)
+        self._open_block = block
+        self._open_count = 1
+
+    def _close_open_run(self, successor: Optional[BlockId]) -> None:
+        """Fold the open run into runs/exec_counts (+ the taken edge)."""
+        block = self._open_block
+        if block is None:
+            return
+        self.runs.append(Run(block, self._open_count))
+        self.exec_counts[block] = (
+            self.exec_counts.get(block, 0) + self._open_count
+        )
+        if successor is not None:
+            self.edge_counts[(block, successor)] = (
+                self.edge_counts.get((block, successor), 0) + 1
+            )
 
     def finish(self) -> None:
         """Flush the open run; called once when execution halts."""
-        if self._open_block is not None:
-            self.runs.append(Run(self._open_block, self._open_count))
-            self._open_block = None
-            self._open_count = 0
+        self._close_open_run(None)
+        self._open_block = None
+        self._open_count = 0
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property
     def total_block_execs(self) -> int:
-        return sum(self.exec_counts.values())
+        return sum(self.exec_counts.values()) + self._open_count
 
     def execs_of(self, block: BlockId) -> int:
-        return self.exec_counts.get(block, 0)
+        count = self.exec_counts.get(block, 0)
+        if block == self._open_block:
+            count += self._open_count
+        return count
 
     def runs_of(self, block: BlockId) -> List[Run]:
         return [r for r in self.runs if r.block == block]

@@ -61,6 +61,7 @@ class ArrayProgram:
         self.array_table: Dict[int, Tuple[str, int, int]] = {}
         #: (pe, reg) -> initial value (loop-carried accumulator seeds).
         self.reg_init: Dict[Tuple[int, int], float] = {}
+        self._array_index: Optional[Dict[str, Tuple[int, int]]] = None
 
     def program_for(self, pe: int) -> PEProgram:
         if not 0 <= pe < self.n_pes:
@@ -83,12 +84,34 @@ class ArrayProgram:
                       length: int) -> None:
         if array_id in self.array_table:
             raise EncodingError(f"array id {array_id} declared twice")
-        for other_id, (_, obase, olen) in self.array_table.items():
+        for other_id, (oname, obase, olen) in self.array_table.items():
+            if oname == name:
+                # By-name lookups (load_array / array_out) would be
+                # ambiguous; reject instead of silently picking one.
+                raise EncodingError(
+                    f"array name {name!r} declared twice "
+                    f"(ids {other_id} and {array_id})"
+                )
             if base < obase + olen and obase < base + length:
                 raise EncodingError(
                     f"array {name!r} overlaps array id {other_id}"
                 )
         self.array_table[array_id] = (name, base, length)
+        self._array_index = None
+
+    def array_index(self) -> Dict[str, Tuple[int, int]]:
+        """Name -> (base, length) lookup over the array table.
+
+        Built once and invalidated by :meth:`declare_array`, so the
+        simulator's by-name paths (`load_array` / `array_out`) are a
+        dict probe instead of a table scan.
+        """
+        if self._array_index is None:
+            self._array_index = {
+                name: (base, length)
+                for name, base, length in self.array_table.values()
+            }
+        return self._array_index
 
     def total_entries(self) -> int:
         return sum(len(p) for p in self.pe_programs.values())

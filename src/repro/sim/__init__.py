@@ -1,19 +1,31 @@
 """Micro-architectural cycle simulator of the Marionette PE array.
 
 This is tier (a) of the evaluation stack (see DESIGN.md): an ISA-level,
-cycle-stepped model of the control flow plane (Control Flow Trigger /
+cycle-accurate model of the control flow plane (Control Flow Trigger /
 Scheduler / Sender), the data flow plane (FU, local registers, token ports),
 the CS-Benes control network and the data mesh.  It executes
 :class:`~repro.isa.program.ArrayProgram` configurations and is used to
 validate the mechanisms cycle-by-cycle (configuration hidden behind
 computation, loop pipelining, branch steering).
+
+Two stepping strategies share one behaviour: the default event-driven
+fast path (active-PE scheduling + cycle skipping) and the naive
+poll-everything reference, kept for differential testing — see
+``docs/ENGINE.md`` ("Performance") and ``tests/test_sim_event.py``.
 """
 
 from repro.sim.fifo import Fifo
 from repro.sim.memory import Scratchpad
-from repro.sim.events import DataToken, CtrlMsg, PEStats, ArrayStats
+from repro.sim.events import (
+    ArrayStats,
+    CtrlMsg,
+    DataToken,
+    DeliverySchedule,
+    MulticastQueue,
+    PEStats,
+)
 from repro.sim.pe import MarionettePE
-from repro.sim.array import ArraySimulator, SimulationResult
+from repro.sim.array import STRATEGIES, ArraySimulator, SimulationResult
 
 __all__ = [
     "Fifo",
@@ -22,7 +34,10 @@ __all__ = [
     "CtrlMsg",
     "PEStats",
     "ArrayStats",
+    "DeliverySchedule",
+    "MulticastQueue",
     "MarionettePE",
     "ArraySimulator",
     "SimulationResult",
+    "STRATEGIES",
 ]

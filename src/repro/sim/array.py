@@ -15,12 +15,26 @@ Per cycle:
 The simulation halts when a control message reaches the controller port
 (kernels route their final basic block's exit there) or when the array goes
 quiescent.
+
+Two stepping strategies produce bit-identical results:
+
+* ``strategy="event"`` (default) is the fast path: it only steps PEs that
+  can actually act — delivery targets, PEs with a pending configuration or
+  a fireable instruction, and PEs whose configuration countdown or
+  in-flight firing reaches its deadline — and, when a whole cycle has no
+  event, jumps ``cycle`` straight to the next delivery / deadline /
+  quiescence point.  Skipped idle cycles are billed to the per-PE stats
+  counters in O(1) jumps (:meth:`MarionettePE.advance_to`), so cycle
+  counts, ``ArrayStats``, and scratchpad images match the naive stepper
+  exactly;
+* ``strategy="naive"`` is the reference stepper (every PE, every cycle),
+  kept for differential testing — see ``tests/test_sim_event.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -30,9 +44,18 @@ from repro.arch.params import ArchParams
 from repro.isa.control import SenderMode
 from repro.isa.operands import DestKind
 from repro.isa.program import ArrayProgram
-from repro.sim.events import ArrayStats, CtrlMsg, DataToken
+from repro.sim.events import (
+    ArrayStats,
+    CtrlMsg,
+    DataToken,
+    DeliverySchedule,
+    MulticastQueue,
+)
 from repro.sim.memory import Scratchpad
 from repro.sim.pe import MarionettePE
+
+#: Stepping strategies accepted by :class:`ArraySimulator`.
+STRATEGIES = ("event", "naive")
 
 
 @dataclass
@@ -46,26 +69,32 @@ class SimulationResult:
 
     def array_out(self, program: ArrayProgram, name: str) -> np.ndarray:
         """Dump a named array image from the scratchpad."""
-        for array_id, (aname, base, length) in program.array_table.items():
-            if aname == name:
-                return self.scratchpad.dump_array(base, length)
-        available = sorted(
-            aname for aname, _base, _length in program.array_table.values()
-        )
-        raise SimulationError(
-            f"array {name!r} not in program table "
-            f"(available: {', '.join(available) or 'none'})"
-        )
+        entry = program.array_index().get(name)
+        if entry is None:
+            available = sorted(program.array_index())
+            raise SimulationError(
+                f"array {name!r} not in program table "
+                f"(available: {', '.join(available) or 'none'})"
+            )
+        base, length = entry
+        return self.scratchpad.dump_array(base, length)
 
 
 class ArraySimulator:
-    """Cycle-stepped simulator of a Marionette array."""
+    """Cycle-accurate simulator of a Marionette array."""
 
     def __init__(self, params: ArchParams, program: ArrayProgram,
-                 *, scratchpad_words: Optional[int] = None) -> None:
+                 *, scratchpad_words: Optional[int] = None,
+                 strategy: str = "event") -> None:
         program.validate()
+        if strategy not in STRATEGIES:
+            raise SimulationError(
+                f"unknown stepping strategy {strategy!r}; "
+                f"pick one of {STRATEGIES}"
+            )
         self.params = params
         self.program = program
+        self.strategy = strategy
         words = scratchpad_words or (params.sram_kb * 1024 // 4)
         self.scratchpad = Scratchpad(words, banks=params.sram_banks)
         self.network = ControlNetwork(
@@ -84,10 +113,16 @@ class ArraySimulator:
         for (pe, reg), value in program.reg_init.items():
             self.pes[pe].data.regs[reg] = value
         # In-flight queues keyed by delivery cycle.
-        self._data_inflight: Dict[int, List[DataToken]] = {}
-        self._ctrl_inflight: Dict[int, List[CtrlMsg]] = {}
-        self._ctrl_queue: List[CtrlMsg] = []
+        self._data_inflight = DeliverySchedule()
+        self._ctrl_inflight = DeliverySchedule()
+        self._ctrl_queue = MulticastQueue()
         self._controller_msgs: List[CtrlMsg] = []
+        #: event strategy: PE -> next cycle it can act spontaneously.
+        self._pe_next: Dict[int, int] = {}
+        #: event strategy: PEs with firings in the FU pipeline.  Inflight
+        #: only changes inside a PE's own step, so maintaining the set on
+        #: stepped PEs keeps the busy checks O(live), not O(n_pes).
+        self._inflight_pes: Set[int] = set()
         self.stats = ArrayStats()
 
     # ------------------------------------------------------------------
@@ -102,16 +137,16 @@ class ArraySimulator:
     # ------------------------------------------------------------------
     def load_array(self, name: str, values) -> None:
         """Pre-load a named array image into the scratchpad."""
-        for array_id, (aname, base, length) in self.program.array_table.items():
-            if aname == name:
-                if len(values) > length:
-                    raise SimulationError(
-                        f"array {name!r}: {len(values)} values exceed "
-                        f"declared length {length}"
-                    )
-                self.scratchpad.load_array(base, values)
-                return
-        raise SimulationError(f"array {name!r} not in program table")
+        entry = self.program.array_index().get(name)
+        if entry is None:
+            raise SimulationError(f"array {name!r} not in program table")
+        base, length = entry
+        if len(values) > length:
+            raise SimulationError(
+                f"array {name!r}: {len(values)} values exceed "
+                f"declared length {length}"
+            )
+        self.scratchpad.load_array(base, values)
 
     # ------------------------------------------------------------------
     def run(self, *, max_cycles: int = 200_000,
@@ -123,9 +158,17 @@ class ArraySimulator:
             self._ctrl_queue.append(
                 CtrlMsg(dst_pe=pe, addr=addr, src_pe=self.params.n_pes)
             )
+        if self.strategy == "naive":
+            cycle = self._run_naive(max_cycles, halt_messages)
+        else:
+            cycle = self._run_event(max_cycles, halt_messages)
+        return self._finalize(cycle)
 
+    def _run_naive(self, max_cycles: int, halt_messages: int) -> int:
+        """The reference loop: step every cycle, poll every PE."""
         cycle = 0
         idle_streak = 0
+        idle_limit = self._idle_limit()
         while cycle < max_cycles:
             busy = self._step_cycle(cycle)
             cycle += 1
@@ -133,8 +176,97 @@ class ArraySimulator:
                 self.stats.halted = True
                 break
             idle_streak = 0 if busy else idle_streak + 1
-            if idle_streak > 4 * self.params.data_net_latency + 8:
+            if idle_streak > idle_limit:
                 break
+        return cycle
+
+    def _run_event(self, max_cycles: int, halt_messages: int) -> int:
+        """The fast path: step event cycles, jump across the rest.
+
+        Events are cycles where anything can happen: a delivery is due,
+        the control queue holds messages to offer, or some PE can act
+        (see :meth:`MarionettePE.next_event`).  Between events the array
+        state is frozen except for counters, so the loop advances
+        ``cycle`` directly — crediting the naive stepper's idle-streak
+        quiescence window cycle-for-cycle when nothing at all is in
+        flight — and the skipped stretch is billed to the PE stats
+        lazily on the next touch (:meth:`MarionettePE.advance_to`).
+        """
+        cycle = 0
+        idle_streak = 0
+        idle_limit = self._idle_limit()
+        while cycle < max_cycles:
+            busy = self._step_cycle_event(cycle)
+            cycle += 1
+            if len(self._controller_msgs) >= halt_messages:
+                self.stats.halted = True
+                break
+            idle_streak = 0 if busy else idle_streak + 1
+            if idle_streak > idle_limit:
+                break
+            target, busy_skip = self._skip_target(
+                cycle, idle_streak, idle_limit, max_cycles
+            )
+            if target > cycle:
+                if not busy_skip:
+                    idle_streak += target - cycle
+                cycle = target
+                if cycle >= max_cycles or idle_streak > idle_limit:
+                    break
+        return cycle
+
+    def _idle_limit(self) -> int:
+        return 4 * self.params.data_net_latency + 8
+
+    def _busy_while_skipping(self) -> bool:
+        """Whether the naive stepper would report skipped cycles busy.
+
+        Matches the tail of :meth:`_step_cycle`: anything in flight
+        keeps the idle-streak quiescence detector at zero even when no
+        PE acts.  (The control queue is empty during a skip — a
+        non-empty queue is an immediate event.)
+        """
+        return bool(self._data_inflight or self._ctrl_inflight
+                    or self._ctrl_queue or self._inflight_pes)
+
+    def _skip_target(self, cycle: int, idle_streak: int, idle_limit: int,
+                     max_cycles: int) -> Tuple[int, bool]:
+        """``(next cycle worth executing, busy-while-skipping)``.
+
+        The target is ``cycle`` itself when the next cycle is an event.
+        When nothing is in flight, the naive stepper would grind idle
+        cycles only until its quiescence window closes — so the skip is
+        capped at that break point (and at ``max_cycles``), keeping the
+        final cycle count identical.
+        """
+        nxt = self._next_event_cycle(cycle)
+        busy_skip = self._busy_while_skipping()
+        if busy_skip:
+            horizon = max_cycles
+        else:
+            horizon = min(max_cycles,
+                          cycle + idle_limit - idle_streak + 1)
+        if nxt is None:
+            return horizon, busy_skip
+        return min(max(nxt, cycle), horizon), busy_skip
+
+    def _next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle >= ``now`` at which anything can happen."""
+        if self._ctrl_queue:
+            return now
+        best: Optional[int] = None
+        for when in (self._data_inflight.next_cycle(),
+                     self._ctrl_inflight.next_cycle()):
+            if when is not None:
+                best = when if best is None else min(best, when)
+        if self._pe_next:
+            when = min(self._pe_next.values())
+            best = when if best is None else min(best, when)
+        return best
+
+    def _finalize(self, cycle: int) -> SimulationResult:
+        for pe in self.pes.values():
+            pe.advance_to(cycle)  # bill idle cycles skipped at the tail
         self.stats.cycles = cycle
         self.stats.pe_stats = {pe: p.stats for pe, p in self.pes.items()}
         self.stats.ctrl_network_conflicts = self.network.conflicts
@@ -145,41 +277,41 @@ class ArraySimulator:
         )
 
     # ------------------------------------------------------------------
+    def _offer_ctrl_queue(self, cycle: int) -> None:
+        """Step 2: offer queued control messages to the network.  A
+        sender's same-address fan-out is one multicast (the CS stage
+        spreads it); groups are maintained at enqueue time."""
+        offered = [
+            ControlMessage.to(
+                max(0, src), [m.dst_pe for m in msgs], payload=msgs
+            )
+            for (src, _addr, _steer), msgs in self._ctrl_queue.groups()
+        ]
+        report = self.network.offer(offered)
+        self._ctrl_queue.reset_to(
+            rejected.payload for rejected in report.rejected
+        )
+        arrival = cycle + self.params.ctrl_net_latency
+        for delivered in report.delivered:
+            self._ctrl_inflight.extend(arrival, delivered.payload)
+
     def _step_cycle(self, cycle: int) -> bool:
         busy = False
 
         # 1. Deliveries due this cycle.
-        for token in self._data_inflight.pop(cycle, []):
+        for token in self._data_inflight.pop_due(cycle):
             self.pes[token.dst_pe].receive_data(token.port, token.value)
             busy = True
-        for msg in self._ctrl_inflight.pop(cycle, []):
+        for msg in self._ctrl_inflight.pop_due(cycle):
             if msg.dst_pe >= self.params.n_pes:
                 self._controller_msgs.append(msg)
             elif not self.pes[msg.dst_pe].receive_ctrl(msg):
                 self._ctrl_queue.append(msg)  # control FIFO full: retry
             busy = True
 
-        # 2. Offer queued control messages to the network.  A sender's
-        # same-address fan-out is one multicast (the CS stage spreads it).
+        # 2. Offer queued control messages to the network.
         if self._ctrl_queue:
-            groups: Dict[Tuple[int, int, bool], List[CtrlMsg]] = {}
-            for m in self._ctrl_queue:
-                groups.setdefault((m.src_pe, m.addr, m.steer), []).append(m)
-            offered = [
-                ControlMessage.to(
-                    max(0, src), [m.dst_pe for m in msgs], payload=msgs
-                )
-                for (src, _addr, _steer), msgs in groups.items()
-            ]
-            report = self.network.offer(offered)
-            self._ctrl_queue = [
-                m for rejected in report.rejected for m in rejected.payload
-            ]
-            arrival = cycle + self.params.ctrl_net_latency
-            for delivered in report.delivered:
-                self._ctrl_inflight.setdefault(arrival, []).extend(
-                    delivered.payload
-                )
+            self._offer_ctrl_queue(cycle)
             busy = True
 
         # 3. Step PEs.
@@ -192,6 +324,68 @@ class ArraySimulator:
                 self._apply_outcome(pe.pe, outcome, cycle)
 
         if any(pe.data.inflight for pe in self.pes.values()):
+            busy = True
+        if self._data_inflight or self._ctrl_inflight or self._ctrl_queue:
+            busy = True
+        return busy
+
+    def _step_cycle_event(self, cycle: int) -> bool:
+        """One cycle of the event strategy: only live PEs are stepped.
+
+        A PE is live when a delivery lands on it this cycle or its
+        scheduled :meth:`~repro.sim.pe.MarionettePE.next_event` is due.
+        Idle PEs neither act nor emit in the naive stepper, so skipping
+        them changes nothing observable; their per-cycle stats counters
+        are credited lazily by :meth:`~repro.sim.pe.MarionettePE.advance_to`.
+        """
+        busy = False
+        touched: Set[int] = set()
+
+        # 1. Deliveries due this cycle.
+        for token in self._data_inflight.pop_due(cycle):
+            self.pes[token.dst_pe].receive_data(token.port, token.value)
+            touched.add(token.dst_pe)
+            busy = True
+        for msg in self._ctrl_inflight.pop_due(cycle):
+            if msg.dst_pe >= self.params.n_pes:
+                self._controller_msgs.append(msg)
+            else:
+                if not self.pes[msg.dst_pe].receive_ctrl(msg):
+                    self._ctrl_queue.append(msg)  # control FIFO full: retry
+                touched.add(msg.dst_pe)
+            busy = True
+
+        # 2. Offer queued control messages to the network.
+        if self._ctrl_queue:
+            self._offer_ctrl_queue(cycle)
+            busy = True
+
+        # 3. Step the live PEs (ascending id, like the naive full scan:
+        # scratchpad access order and control-queue order are
+        # observable through bank conflicts and network arbitration).
+        touched.update(
+            pe for pe, when in self._pe_next.items() if when <= cycle
+        )
+        for pe_id in sorted(touched):
+            pe = self.pes[pe_id]
+            pe.advance_to(cycle)
+            msgs, outcomes = pe.step(cycle)
+            if msgs or outcomes:
+                busy = True
+            self._ctrl_queue.extend(msgs)
+            for outcome in outcomes:
+                self._apply_outcome(pe_id, outcome, cycle)
+            when = pe.next_event(cycle + 1)
+            if when is None:
+                self._pe_next.pop(pe_id, None)
+            else:
+                self._pe_next[pe_id] = when
+            if pe.data.inflight:
+                self._inflight_pes.add(pe_id)
+            else:
+                self._inflight_pes.discard(pe_id)
+
+        if self._inflight_pes:
             busy = True
         if self._data_inflight or self._ctrl_inflight or self._ctrl_queue:
             busy = True
@@ -226,7 +420,7 @@ class ArraySimulator:
                 self.pes[pe].receive_data(dest.port, value)
             else:
                 arrival = cycle + self.params.data_net_latency
-                self._data_inflight.setdefault(arrival, []).append(
-                    DataToken(dest.pe, dest.port, value)
+                self._data_inflight.push(
+                    arrival, DataToken(dest.pe, dest.port, value)
                 )
                 self.pes[pe].stats.data_tokens_sent += 1

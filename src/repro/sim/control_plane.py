@@ -65,6 +65,52 @@ class ControlFlowPart:
         return self.program.get(self.current_addr)
 
     # ------------------------------------------------------------------
+    # Event-driven scheduling hooks
+    # ------------------------------------------------------------------
+    @property
+    def config_remaining(self) -> int:
+        """Cycles left until the in-progress configuration completes."""
+        return self._config_timer
+
+    def can_pop_pending(self) -> bool:
+        """Whether :meth:`step` would pop a standing request this cycle."""
+        return (self._config_timer == 0 and not self.pending.empty
+                and not self.loop_holding)
+
+    def idle_category(self) -> str:
+        """Which :class:`~repro.sim.events.PEStats` counter an externally
+        quiet cycle bills: ``configuring`` / ``unconfigured`` /
+        ``waiting`` — mirroring the accounting order in
+        :meth:`MarionettePE.step`."""
+        if self._config_timer > 0:
+            return "configuring"
+        if self.current_addr is None:
+            return "unconfigured"
+        return "waiting"
+
+    def advance_idle(self, delta: int) -> str:
+        """Advance ``delta`` externally quiet cycles in one jump.
+
+        During such cycles the control part's only per-cycle work is the
+        configuration countdown, so the whole stretch bills one stats
+        category.  The event scheduler steps the PE *at* its
+        configuration-completion deadline, so the countdown can never
+        cross zero inside a jump; hitting that means the scheduler lost
+        an event, which would silently diverge from the naive stepper —
+        fail loudly instead.
+        """
+        category = self.idle_category()
+        if self._config_timer > 0:
+            if delta >= self._config_timer:
+                raise SimulationError(
+                    f"PE {self.pe}: event scheduler skipped a "
+                    f"configuration completion ({delta} >= "
+                    f"{self._config_timer})"
+                )
+            self._config_timer -= delta
+        return category
+
+    # ------------------------------------------------------------------
     # Check phase
     # ------------------------------------------------------------------
     def receive(self, msg: CtrlMsg) -> bool:

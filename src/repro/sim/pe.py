@@ -35,6 +35,9 @@ class MarionettePE:
         #: per firing, keeping token/configuration pairing exact.
         self.steered = steered
         self.stats = PEStats(pe)
+        #: first cycle whose accounting has not been applied yet (the
+        #: event-driven stepper bills skipped idle cycles lazily).
+        self._accrued_to = 0
 
     # ------------------------------------------------------------------
     def receive_ctrl(self, msg: CtrlMsg) -> bool:
@@ -42,6 +45,72 @@ class MarionettePE:
 
     def receive_data(self, port: int, value: float) -> None:
         self.data.push_token(port, value)
+
+    # ------------------------------------------------------------------
+    # Event-driven scheduling
+    # ------------------------------------------------------------------
+    def next_event(self, now: int) -> Optional[int]:
+        """Earliest cycle >= ``now`` at which this PE can act without new
+        external input, or ``None`` while it is idle until a delivery.
+
+        ``now`` means "can act immediately next step": the PE would pop a
+        pending configuration, apply a re-arm, or issue a firing.  Future
+        deadlines come from the configuration countdown and from firings
+        in flight through the FU pipeline.  Everything else that changes
+        this PE's readiness arrives over the networks, and the array
+        steps every delivery target on its arrival cycle.
+        """
+        ctrl = self.control
+        if ctrl.rearm_pending:
+            return now
+        deadline: Optional[int] = None
+        if ctrl.configuring:
+            # The countdown decrements once per cycle starting at `now`,
+            # completing (and proactively emitting) config_remaining - 1
+            # cycles later.
+            deadline = now + ctrl.config_remaining - 1
+        else:
+            if ctrl.can_pop_pending():
+                return now
+            if ctrl.configured:
+                if self.steered:
+                    if not ctrl.steer.empty:
+                        entry = ctrl.program.get(ctrl.steer.peek())
+                        # A missing steered address must still step (and
+                        # raise) exactly like the naive stepper would.
+                        if entry is None or self.data.can_fire(entry.data):
+                            return now
+                else:
+                    entry = ctrl.entry()
+                    if entry is not None and self.data.can_fire(entry.data):
+                        return now
+        if self.data.inflight:
+            complete = max(now, min(
+                firing.complete_cycle for firing in self.data.inflight
+            ))
+            deadline = complete if deadline is None \
+                else min(deadline, complete)
+        return deadline
+
+    def advance_to(self, cycle: int) -> None:
+        """Account the externally quiet cycles up to (excluding) ``cycle``.
+
+        While a PE is neither stepped nor delivered to, its state is
+        frozen except for the configuration countdown — so the whole
+        stretch bills a single stats counter, in one O(1) jump instead
+        of one :meth:`step` per cycle.
+        """
+        delta = cycle - self._accrued_to
+        if delta <= 0:
+            return
+        category = self.control.advance_idle(delta)
+        if category == "configuring":
+            self.stats.cycles_configuring += delta
+        elif category == "unconfigured":
+            self.stats.cycles_unconfigured += delta
+        else:
+            self.stats.cycles_waiting += delta
+        self._accrued_to = cycle
 
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> Tuple[List[CtrlMsg], List[FiringOutcome]]:
@@ -89,6 +158,7 @@ class MarionettePE:
         else:
             self.stats.cycles_waiting += 1
         self.stats.ctrl_msgs_sent += len(out_msgs)
+        self._accrued_to = cycle + 1
         return out_msgs, outcomes
 
     # ------------------------------------------------------------------

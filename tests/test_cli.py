@@ -56,6 +56,30 @@ class TestCli:
                      "--prune-to-budget"]) == 2
         assert "requires --cache-dir" in capsys.readouterr().err
 
+    def test_profile_rejects_other_execution_modes(self, capsys):
+        # --profile times the local batch phases; every other execution
+        # mode would make the phase timings describe something else.
+        for combo in (["--stream"],
+                      ["--shard", "1/2"],
+                      ["--merge-shards", "x.json"],
+                      ["--dispatch", "http://127.0.0.1:1"]):
+            assert main(["bench", "--scale", "tiny",
+                         "--profile", *combo]) == 2
+            assert "--profile times the local batch phases" \
+                in capsys.readouterr().err
+
+    def test_profile_rejects_stats(self, capsys):
+        # The embedded counters would describe the profiler's phased
+        # execution, not a normal run.
+        assert main(["bench", "--scale", "tiny", "--profile",
+                     "--format", "json", "--stats"]) == 2
+        assert "phased execution would skew" in capsys.readouterr().err
+
+    def test_profile_out_requires_profile(self, capsys):
+        assert main(["bench", "--scale", "tiny",
+                     "--profile-out", "prof.json"]) == 2
+        assert "requires --profile" in capsys.readouterr().err
+
     def test_prune_to_budget_enforces_instead_of_warning(
             self, tmp_path, monkeypatch, capsys):
         from repro.engine.cache_admin import usage

@@ -452,6 +452,91 @@ class TestMultiJob:
 
 
 # ----------------------------------------------------------------------
+# Fair-share scheduling (`repro serve --schedule fair`)
+# ----------------------------------------------------------------------
+class TestFairShareSchedule:
+    def _coordinator(self, schedule="fair"):
+        clock = {"now": 0.0}
+        coordinator = Coordinator(
+            lease_timeout=60.0, clock=lambda: clock["now"],
+            schedule=schedule,
+        )
+        return coordinator, clock
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(DistributedError, match="schedule"):
+            Coordinator(schedule="lifo")
+
+    def test_leases_round_robin_across_active_jobs(self):
+        """A long sweep submitted first must not monopolize the fleet:
+        consecutive grants alternate across the active jobs.  (Each job
+        has three ready trace tasks here, so under FIFO all four grants
+        would go to the sweep.)"""
+        coordinator, _clock = self._coordinator()
+        sweep = coordinator.submit(_payloads(_specs()), scale="tiny",
+                                   seed=0)
+        short = coordinator.submit(_payloads(_specs()), scale="tiny",
+                                   seed=1)
+        owners = []
+        for _ in range(4):
+            response = coordinator.lease("w")
+            owners.append(response["id"].split(":")[0])
+        assert owners == [sweep["job"], short["job"],
+                          sweep["job"], short["job"]]
+
+    def test_fifo_remains_the_default(self):
+        coordinator, _clock = self._coordinator(schedule="fifo")
+        assert Coordinator().schedule == "fifo"
+        first = coordinator.submit(_payloads(_specs()),
+                                   scale="tiny", seed=0)
+        coordinator.submit(_payloads(_specs()), scale="tiny", seed=1)
+        owners = {coordinator.lease("w")["id"].split(":")[0]
+                  for _ in range(2)}
+        assert owners == {first["job"]}  # oldest job drains first
+
+    def test_fair_share_is_work_conserving(self):
+        """A job with nothing ready is skipped, not waited on: one job's
+        whole queue drains through a fair scheduler without stalls."""
+        coordinator, _clock = self._coordinator()
+        receipt = coordinator.submit(_payloads(_specs()[:2]),
+                                     scale="tiny", seed=0)
+        served = 0
+        while True:
+            response = coordinator.lease_many("w", limit=4)
+            if "tasks" not in response:
+                break
+            for grant in response["tasks"]:
+                served += 1
+                if grant["task"]["kind"] == "trace":
+                    coordinator.ack(grant["id"], grant["lease"],
+                                    computed=True)
+                else:
+                    coordinator.ack(grant["id"], grant["lease"],
+                                    result={"cycles": 1})
+        verdict = coordinator.results_since(receipt["job"], 0)
+        assert verdict["done"] and not verdict["failed"]
+        assert served >= 2
+
+    def test_batched_grants_interleave_jobs(self):
+        """One lease_many round trip spreads across jobs under fair
+        scheduling instead of draining the oldest job's queue."""
+        coordinator, _clock = self._coordinator()
+        first = coordinator.submit(_payloads(_specs()), scale="tiny",
+                                   seed=0)
+        second = coordinator.submit(_payloads(_specs()), scale="tiny",
+                                    seed=1)
+        response = coordinator.lease_many("w", limit=4)
+        owners = [grant["id"].split(":")[0]
+                  for grant in response["tasks"]]
+        assert owners == [first["job"], second["job"],
+                          first["job"], second["job"]]
+
+    def test_schedule_is_visible_in_status(self):
+        coordinator, _clock = self._coordinator()
+        assert coordinator.status()["schedule"] == "fair"
+
+
+# ----------------------------------------------------------------------
 # Batched leases and piggybacked acks
 # ----------------------------------------------------------------------
 class TestBatchedLease:
