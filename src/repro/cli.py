@@ -430,18 +430,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine.cache import ENGINE_VERSION
     from repro.engine.distributed.backend import LocalBackend, MemoryBackend
     from repro.engine.distributed.coordinator import Coordinator
+    from repro.engine.distributed.journal import JobJournal
     from repro.engine.distributed.server import DistributedServer
 
     from repro.errors import DistributedError
 
     backend = (LocalBackend(args.cache_dir) if args.cache_dir
                else MemoryBackend())
+    if args.state_dir:
+        # Durable mode: replay the write-ahead journal (an empty or
+        # absent one replays to an empty table), so a restarted server
+        # resumes the fleet where the previous process left it.
+        coordinator, resumed = Coordinator.resume(
+            JobJournal(args.state_dir),
+            lease_timeout=args.lease_timeout, schedule=args.schedule,
+        )
+        if resumed["jobs"]:
+            print(
+                f"resumed {resumed['jobs']} job(s) from "
+                f"{args.state_dir}: {resumed['active']} active, "
+                f"{resumed['results']} delivered result(s) kept, "
+                f"{resumed['requeued']} task(s) requeued"
+                + (" (torn final journal line dropped)"
+                   if resumed["torn"] else ""),
+                file=sys.stderr,
+            )
+    else:
+        coordinator = Coordinator(lease_timeout=args.lease_timeout,
+                                  schedule=args.schedule)
     try:
         server = DistributedServer(
-            backend,
-            Coordinator(lease_timeout=args.lease_timeout,
-                        schedule=args.schedule),
-            host=args.host, port=args.port,
+            backend, coordinator, host=args.host, port=args.port,
         )
     except OSError as error:
         # Port in use, unresolvable host: a one-line diagnostic like
@@ -451,7 +470,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ) from error
     print(
         f"serving cache + coordinator on {server.url} "
-        f"({backend.describe()}, engine v{ENGINE_VERSION}, "
+        f"({backend.describe()}, {coordinator.durability}, "
+        f"engine v{ENGINE_VERSION}, "
         f"{args.schedule} scheduling) — stop with "
         f"Ctrl-C or POST {server.url}/admin/shutdown",
         file=sys.stderr,
@@ -493,6 +513,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             args.connect, poll=args.poll, max_idle=args.max_idle,
             worker_id=worker, on_task=on_task,
             lease_batch=args.lease_batch, cache_dir=args.cache_dir,
+            reconnect=args.reconnect,
         )
     except KeyboardInterrupt:
         # Same clean exit as `repro serve`: any lease we held expires
@@ -737,6 +758,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="back the cache server with this directory "
                               "(default: in-memory, lives with the "
                               "server process)")
+    p_serve.add_argument("--state-dir", default=None, metavar="PATH",
+                         help="journal every job-table transition to "
+                              "PATH/queue.jsonl and replay it on "
+                              "startup, so a restarted server resumes "
+                              "its fleet: delivered results stay "
+                              "pollable, pending tasks re-lease "
+                              "(default: in-memory — a restart loses "
+                              "the job table)")
     p_serve.add_argument("--lease-timeout", type=float, default=60.0,
                          metavar="SEC",
                          help="seconds a worker may hold a task before "
@@ -776,6 +805,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "front of the server's HTTP cache, so a "
                                "warm record read costs zero network "
                                "round trips (WAN fleets)")
+    p_worker.add_argument("--reconnect", type=float, default=60.0,
+                          metavar="SEC",
+                          help="keep retrying (capped exponential "
+                               "backoff) through up to SEC seconds of "
+                               "server unavailability — a coordinator "
+                               "restart no longer kills the fleet — "
+                               "before giving up (0 fails on the first "
+                               "transport error)")
     p_worker.set_defaults(fn=_cmd_worker)
 
     p_cache = sub.add_parser("cache", help="cache administration")

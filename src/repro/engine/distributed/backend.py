@@ -33,6 +33,7 @@ surfaces as a traceback.
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import tempfile
@@ -42,7 +43,7 @@ import urllib.request
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Protocol, Tuple
 
-from repro.errors import DistributedError
+from repro.errors import DistributedError, DistributedUnavailable
 
 #: Default timeout (seconds) for one HTTP round trip.
 HTTP_TIMEOUT = 30.0
@@ -160,8 +161,11 @@ def http_json(method: str, url: str, body: Optional[object] = None,
 
     404 is a negative *answer* (returned), not a failure; every
     transport-level problem — refused connection, timeout, a server that
-    went away mid-request — raises :class:`DistributedError` with a
-    one-line description, so callers never leak urllib tracebacks.
+    went away mid-request — raises :class:`DistributedUnavailable` with
+    a one-line description, so callers never leak urllib tracebacks and
+    retry loops can tell "server momentarily gone" (retryable) apart
+    from protocol-level rejections (plain :class:`DistributedError`,
+    never retryable).
     """
     data = None
     headers = {"Accept": "application/json"}
@@ -185,9 +189,15 @@ def http_json(method: str, url: str, body: Optional[object] = None,
             f"{method} {url} failed: HTTP {status} ({detail})"
         ) from error
     except (urllib.error.URLError, ConnectionError, TimeoutError,
-            OSError) as error:
+            OSError, http.client.HTTPException) as error:
+        # http.client.HTTPException covers the mid-conversation breaks
+        # that are *not* OSErrors: a server killed between sending its
+        # headers and finishing the body raises IncompleteRead, a
+        # half-written status line raises BadStatusLine.  Both mean the
+        # same thing as a refused connection — the server went away —
+        # and must be retryable, not a worker-killing traceback.
         reason = getattr(error, "reason", None) or error
-        raise DistributedError(
+        raise DistributedUnavailable(
             f"cannot reach {url}: {reason}"
         ) from error
     if not raw:
@@ -195,7 +205,9 @@ def http_json(method: str, url: str, body: Optional[object] = None,
     try:
         return status, json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise DistributedError(
+        # Non-JSON bytes mean we are not talking to a healthy repro
+        # serve (a dying process, a proxy error page) — transport-class.
+        raise DistributedUnavailable(
             f"{method} {url}: server sent malformed JSON ({error})"
         ) from error
 

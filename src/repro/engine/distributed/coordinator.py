@@ -61,9 +61,24 @@ streaming engine locked down, preserved *per job*:
 
 Finished jobs are retained (so a slow driver can still poll its
 results) and evicted oldest-first once more than
-:data:`FINISHED_JOB_RETENTION` of them have accumulated; their stats
-are folded into the coordinator-lifetime totals first, so aggregate
-fleet statistics never go backwards.
+:data:`FINISHED_JOB_RETENTION` of them have accumulated — a finished
+(or failed) job triggers the sweep the moment it transitions, so a
+quiet serve does not pin finished result payloads in RAM until the
+next submit; their stats are folded into the coordinator-lifetime
+totals first, so aggregate fleet statistics never go backwards.
+
+**Durability.**  By default the job table lives in process memory and
+dies with it.  Constructed with a
+:class:`~repro.engine.distributed.journal.JobJournal` (``repro serve
+--state-dir``), every state transition — submit, done ack, failure,
+eviction, drain — is appended (fsync'd) to the journal *before* the
+caller sees the reply, and :meth:`Coordinator.resume` rebuilds the
+table from the journal after a crash or restart: delivered results
+stay pollable at their original cursors, pending and ready tasks
+re-enter their queues, and in-flight leases are deliberately **not**
+restored — the tasks re-lease to the next worker, and the old workers'
+stale acks bounce on their lease tokens exactly as if the workers had
+crashed, preserving exactly-once delivery.
 
 The coordinator is transport-agnostic (plain method calls under one
 lock); :mod:`repro.engine.distributed.server` exposes it over HTTP next
@@ -72,6 +87,8 @@ to the cache backend.
 
 from __future__ import annotations
 
+import contextlib
+import re
 import threading
 import time
 import uuid
@@ -79,6 +96,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.engine.distributed.journal import JobJournal
 from repro.errors import DistributedError
 
 #: Default seconds a worker may hold a lease before it is presumed dead.
@@ -161,19 +179,28 @@ class Coordinator:
     """Owns the job table of dispatched spec batches."""
 
     def __init__(self, lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
-                 clock=time.monotonic, schedule: str = "fifo") -> None:
+                 clock=time.monotonic, schedule: str = "fifo",
+                 journal: Optional[JobJournal] = None) -> None:
         if schedule not in SCHEDULES:
             raise DistributedError(
                 f"unknown schedule {schedule!r}; pick one of {SCHEDULES}"
             )
         self.lease_timeout = float(lease_timeout)
         self.schedule = schedule
+        self.journal = journal
         self._clock = clock
         self._lock = threading.Lock()
         self._jobs: "OrderedDict[str, _Job]" = OrderedDict()
         self._job_counter = 0
         self._lease_counter = 0
+        # Tokens are salted per coordinator *instance*: a restarted
+        # server's counter restarts at 1, and without the salt a
+        # pre-restart worker's stale token could collide with a fresh
+        # lease's — and its ack would be wrongly accepted, breaking
+        # exactly-once delivery across the restart boundary.
+        self._lease_salt = uuid.uuid4().hex[:8]
         self._draining = False
+        self._compact_due = False
         # Fair-share rotation: id of the job served by the previous
         # grant, so the next grant starts looking *after* it.
         self._last_served: Optional[str] = None
@@ -181,7 +208,72 @@ class Coordinator:
         # aggregate /queue/status numbers survive job retention.
         self._evicted_stats = _new_stats()
 
+    @property
+    def durability(self) -> str:
+        """``/health``'s durability mode: the journal location, or
+        ``"memory"`` when a restart loses the job table."""
+        return (self.journal.describe() if self.journal is not None
+                else "memory")
+
+    # -- the write-ahead journal ---------------------------------------
+    def _record(self, event: dict) -> None:
+        """Journal one state transition (lock held, before mutation).
+
+        Write-ahead ordering: the append (and its fsync) happens before
+        the in-memory mutation it describes, so a journal failure —
+        disk full, yanked state dir — errors the *request* and leaves
+        table and journal agreeing, instead of letting them diverge.
+        """
+        if self.journal is None:
+            return
+        if self.journal.append(event):
+            # Compaction wants a snapshot of the table *after* this
+            # event's mutation is applied; defer it to the end of the
+            # public call (see :meth:`_maybe_compact`).
+            self._compact_due = True
+
+    def _maybe_compact(self) -> None:
+        """Snapshot+truncate the journal when it outgrew its budget
+        (lock held, after all of this call's mutations landed)."""
+        if self.journal is None or not self._compact_due:
+            return
+        self._compact_due = False
+        self.journal.compact(self._snapshot_events())
+
     # -- job lifecycle -------------------------------------------------
+    def _build_job(self, job_id: str, specs: List[dict], scale: str,
+                   seed: int) -> _Job:
+        """Derive one job's task graph from its spec batch.
+
+        Deterministic in its inputs — the journal replays a ``submit``
+        event through this same code, so a restarted coordinator
+        rebuilds byte-identical task ids and blocking structure.
+        """
+        job = _Job(id=job_id, scale=str(scale), seed=int(seed))
+        trace_ids: Dict[Tuple[str, str, int], str] = {}
+        for key in sorted({_trace_key_of(spec) for spec in specs}):
+            task_id = f"{job.id}:t{len(trace_ids)}"
+            workload, trace_scale, trace_seed = key
+            job.tasks[task_id] = _Task(
+                id=task_id, kind="trace",
+                payload={"kind": "trace", "workload": workload,
+                         "scale": trace_scale, "seed": trace_seed},
+            )
+            job.trace_queue.append(task_id)
+            job.blocked_sims[task_id] = []
+            trace_ids[key] = task_id
+        for index, spec in enumerate(specs):
+            task_id = f"{job.id}:s{index}"
+            trace_id = trace_ids[_trace_key_of(spec)]
+            job.tasks[task_id] = _Task(
+                id=task_id, kind="sim",
+                payload={"kind": "sim", "index": index, "spec": spec},
+                trace_id=trace_id, index=index,
+            )
+            job.blocked_sims[trace_id].append(task_id)
+        job.total_sims = len(specs)
+        return job
+
     def submit(self, specs: List[dict], scale: str, seed: int) -> dict:
         """Queue one spec batch; returns the job id, counts, position.
 
@@ -199,35 +291,20 @@ class Coordinator:
             # within this process: a driver polling results by a
             # recycled counter value could silently consume another
             # driver's payloads after a serve crash + resubmit.
-            job = _Job(id=f"j{self._job_counter}-{uuid.uuid4().hex[:12]}",
-                       scale=str(scale), seed=int(seed))
-            trace_ids: Dict[Tuple[str, str, int], str] = {}
-            for key in sorted({_trace_key_of(spec) for spec in specs}):
-                task_id = f"{job.id}:t{len(trace_ids)}"
-                workload, trace_scale, trace_seed = key
-                job.tasks[task_id] = _Task(
-                    id=task_id, kind="trace",
-                    payload={"kind": "trace", "workload": workload,
-                             "scale": trace_scale, "seed": trace_seed},
-                )
-                job.trace_queue.append(task_id)
-                job.blocked_sims[task_id] = []
-                trace_ids[key] = task_id
-            for index, spec in enumerate(specs):
-                task_id = f"{job.id}:s{index}"
-                trace_id = trace_ids[_trace_key_of(spec)]
-                job.tasks[task_id] = _Task(
-                    id=task_id, kind="sim",
-                    payload={"kind": "sim", "index": index, "spec": spec},
-                    trace_id=trace_id, index=index,
-                )
-                job.blocked_sims[trace_id].append(task_id)
-            job.total_sims = len(specs)
+            job = self._build_job(
+                f"j{self._job_counter}-{uuid.uuid4().hex[:12]}",
+                specs, scale, seed,
+            )
             position = sum(1 for other in self._jobs.values()
                            if not other.done)
+            self._record({"event": "submit", "job": job.id,
+                          "scale": job.scale, "seed": job.seed,
+                          "specs": [dict(spec) for spec in specs]})
             self._jobs[job.id] = job
             self._evict_finished()
-            return {"job": job.id, "traces": len(trace_ids),
+            self._maybe_compact()
+            return {"job": job.id,
+                    "traces": len(job.trace_queue),
                     "sims": len(specs), "position": position}
 
     def _evict_finished(self) -> None:
@@ -236,7 +313,13 @@ class Coordinator:
                     if job.done]
         for job_id in finished[:max(0, len(finished)
                                     - FINISHED_JOB_RETENTION)]:
-            for key, value in self._jobs[job_id].stats.items():
+            stats = self._jobs[job_id].stats
+            # The evict event carries the job's final stats so the
+            # lifetime totals survive a restart too — requeues and
+            # stale-ack counts are not derivable from done events.
+            self._record({"event": "evict", "job": job_id,
+                          "stats": dict(stats)})
+            for key, value in stats.items():
                 self._evicted_stats[key] += value
             del self._jobs[job_id]
 
@@ -324,7 +407,7 @@ class Coordinator:
                 job, task = found
                 self._lease_counter += 1
                 task.state = "leased"
-                task.lease = f"L{self._lease_counter}"
+                task.lease = f"L{self._lease_counter}-{self._lease_salt}"
                 task.worker = str(worker)
                 task.deadline = self._clock() + self.lease_timeout
                 job.leased.add(task.id)
@@ -386,10 +469,13 @@ class Coordinator:
                 job.stats["stale_acks"] += 1
                 return False
             if error is not None:
-                job.failed = (
+                message = (
                     f"worker {task.worker} failed {task.kind} task "
                     f"{task.id}: {error}"
                 )
+                self._record({"event": "fail", "job": job.id,
+                              "error": message})
+                job.failed = message
                 job.trace_queue.clear()
                 job.ready_sims.clear()
                 job.blocked_sims.clear()
@@ -404,19 +490,38 @@ class Coordinator:
                 # of exactly-once.
                 for leased_id in list(job.leased):
                     job.release_lease(job.tasks[leased_id])
+                self._evict_finished()
+                self._maybe_compact()
                 return True
-            task.state = "done"
-            task.lease = None
-            job.leased.discard(task.id)
             if task.kind == "trace":
-                key = ("traces_computed" if computed
-                       else "trace_cache_hits")
-                job.stats[key] += 1
-                for sim_id in job.blocked_sims.pop(task.id, []):
-                    job.ready_sims.append(sim_id)
+                self._record({"event": "done", "task": task.id,
+                              "kind": "trace", "computed": bool(computed)})
             else:
-                job.results.append((task.index, result))
+                self._record({"event": "done", "task": task.id,
+                              "kind": "sim", "result": result})
+            self._finish_task(job, task, result=result, computed=computed)
+            # A job that just completed must trigger the retention
+            # sweep itself: on a quiet serve there may never be a next
+            # submit, and until one arrives every over-retained job
+            # pins its full results payload list in RAM.
+            if job.done:
+                self._evict_finished()
+            self._maybe_compact()
             return True
+
+    def _finish_task(self, job: _Job, task: _Task, *,
+                     result: Optional[dict], computed: bool) -> None:
+        """Apply one task completion (lock held; shared with replay)."""
+        task.state = "done"
+        task.lease = None
+        job.leased.discard(task.id)
+        if task.kind == "trace":
+            key = "traces_computed" if computed else "trace_cache_hits"
+            job.stats[key] += 1
+            for sim_id in job.blocked_sims.pop(task.id, []):
+                job.ready_sims.append(sim_id)
+        else:
+            job.results.append((task.index, result))
 
     # -- result delivery ------------------------------------------------
     def results_since(self, job_id: str, cursor: int) -> dict:
@@ -504,6 +609,157 @@ class Coordinator:
         In-flight acks are still accepted (a worker mid-task finishes
         cleanly) and already-delivered results remain readable, so a
         drain never tears a result in half — it only closes the tap.
+        The drain is journaled (so a crash after it is explainable from
+        the state dir alone), but deliberately *not* replayed: bringing
+        a drained server back up is an explicit operator action, and it
+        comes back serving.
         """
         with self._lock:
+            if not self._draining:
+                self._record({"event": "drain"})
             self._draining = True
+            self._maybe_compact()
+
+    # -- journal replay -------------------------------------------------
+    @classmethod
+    def resume(cls, journal: JobJournal,
+               lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+               clock=time.monotonic, schedule: str = "fifo",
+               ) -> Tuple["Coordinator", dict]:
+        """Rebuild a coordinator from ``journal``; returns it + summary.
+
+        Replay reconstructs exactly what durability promises: delivered
+        results (pollable at their original cursors, under their
+        original job ids), pending/ready queues, failed verdicts, and
+        the lifetime stats of evicted jobs.  Leases are not restored —
+        the tasks re-lease to the next worker and the old tokens bounce
+        as stale.  The journal is compacted to a fresh snapshot before
+        returning, which also trims a torn final line (the signature of
+        a crash mid-append) and bounds the next restart's replay cost.
+        """
+        coordinator = cls(lease_timeout=lease_timeout, clock=clock,
+                          schedule=schedule)
+        events, torn = journal.replay()
+        with coordinator._lock:
+            for event in events:
+                coordinator._replay_event(event)
+        coordinator.journal = journal
+        journal.compact(coordinator._snapshot_events())
+        with coordinator._lock:
+            summary = {
+                "jobs": len(coordinator._jobs),
+                "active": sum(1 for job in coordinator._jobs.values()
+                              if not job.done),
+                "results": sum(len(job.results)
+                               for job in coordinator._jobs.values()),
+                "requeued": sum(
+                    len(job.trace_queue) + len(job.ready_sims)
+                    for job in coordinator._jobs.values() if not job.done
+                ),
+                "torn": torn,
+            }
+        return coordinator, summary
+
+    def _replay_event(self, event: dict) -> None:
+        """Apply one journaled transition to the table (lock held)."""
+        kind = event.get("event")
+        if kind == "submit":
+            job_id = str(event["job"])
+            job = self._build_job(job_id, event["specs"],
+                                  event["scale"], event["seed"])
+            self._jobs[job_id] = job
+            # Keep the counter monotonic past every replayed id, so a
+            # post-restart submit can never collide with a journaled
+            # job (the uuid suffix already makes that astronomically
+            # unlikely; this makes it structurally impossible).
+            match = re.match(r"j(\d+)-", job_id)
+            if match:
+                self._job_counter = max(self._job_counter,
+                                        int(match.group(1)))
+        elif kind == "done":
+            job = self._job_of(str(event["task"]))
+            if job is None or job.failed is not None:
+                return
+            task = job.tasks.get(str(event["task"]))
+            if task is None or task.state == "done":
+                return
+            # Unlike a live ack, the replayed task still sits in a
+            # queue (leases were not restored): pull it out before
+            # marking it done, or it would be leased a second time.
+            with contextlib.suppress(ValueError):
+                if task.kind == "trace":
+                    job.trace_queue.remove(task.id)
+                else:
+                    job.ready_sims.remove(task.id)
+            if task.kind == "sim" and task.trace_id in job.blocked_sims:
+                with contextlib.suppress(ValueError):
+                    job.blocked_sims[task.trace_id].remove(task.id)
+            self._finish_task(job, task, result=event.get("result"),
+                              computed=bool(event.get("computed", False)))
+        elif kind == "fail":
+            job = self._jobs.get(str(event["job"]))
+            if job is None:
+                return
+            job.failed = str(event["error"])
+            job.trace_queue.clear()
+            job.ready_sims.clear()
+            job.blocked_sims.clear()
+        elif kind == "evict":
+            job = self._jobs.pop(str(event["job"]), None)
+            stats = event.get("stats") or (job.stats if job else {})
+            for key, value in stats.items():
+                if key in self._evicted_stats:
+                    self._evicted_stats[key] += int(value)
+        elif kind == "stats":
+            job = self._jobs.get(str(event["job"]))
+            if job is not None:
+                job.stats.update({key: int(value) for key, value
+                                  in event.get("stats", {}).items()
+                                  if key in job.stats})
+        elif kind == "evicted_stats":
+            for key, value in event.get("stats", {}).items():
+                if key in self._evicted_stats:
+                    self._evicted_stats[key] = int(value)
+        elif kind == "drain":
+            pass    # a restart deliberately reopens the tap
+        else:
+            raise DistributedError(
+                f"journal holds an unknown event kind {kind!r} — the "
+                f"version stamp matched, so this is a bug, not skew"
+            )
+
+    def _snapshot_events(self) -> List[dict]:
+        """The minimal event stream reproducing the current table.
+
+        Per retained job: its ``submit``, the settled trace ``done``
+        events, the sim ``done`` events *in results order* (delivery
+        order is the cursor contract — a driver's cursor must mean the
+        same thing after a compaction+restart as before), a ``fail``
+        verdict if any, and a ``stats`` correction (requeue/stale-ack
+        counts are not derivable from done events).
+        """
+        events: List[dict] = []
+        if any(value for value in self._evicted_stats.values()):
+            events.append({"event": "evicted_stats",
+                           "stats": dict(self._evicted_stats)})
+        for job in self._jobs.values():
+            events.append({
+                "event": "submit", "job": job.id, "scale": job.scale,
+                "seed": job.seed,
+                "specs": [job.tasks[f"{job.id}:s{index}"].payload["spec"]
+                          for index in range(job.total_sims)],
+            })
+            for task in job.tasks.values():
+                if task.kind == "trace" and task.state == "done":
+                    events.append({"event": "done", "task": task.id,
+                                   "kind": "trace", "computed": False})
+            for index, payload in job.results:
+                events.append({"event": "done",
+                               "task": f"{job.id}:s{index}",
+                               "kind": "sim", "result": payload})
+            if job.failed is not None:
+                events.append({"event": "fail", "job": job.id,
+                               "error": job.failed})
+            events.append({"event": "stats", "job": job.id,
+                           "stats": dict(job.stats)})
+        return events

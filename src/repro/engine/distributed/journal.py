@@ -1,0 +1,233 @@
+"""Crash-safe write-ahead journal for the coordinator's job table.
+
+``repro serve`` keeps its entire job table in process memory; without a
+journal, a server restart silently loses every queued and running job —
+dispatch clients get "unknown job", workers' acks bounce, and a whole
+fleet's work is thrown away.  This module closes that hole: every job
+state *transition* is appended to ``queue.jsonl`` inside ``--state-dir``
+before the coordinator's reply leaves the lock, and a restarted server
+replays the file to reconstruct the table.
+
+Design points, in the order they matter:
+
+* **Append-only JSONL, fsync'd per record.**  A transition is durable
+  the moment the coordinator answers the request that caused it, so a
+  ``kill -9`` can lose at most the transition being written — never an
+  acknowledged one.  The possible loss is a *torn final line*, which
+  :meth:`JobJournal.replay` tolerates by design (it is indistinguishable
+  from the crash having landed one request earlier).
+* **What is recorded** — ``submit`` (with the full spec payloads, so the
+  task graph can be rebuilt), ``done`` acks (with result payloads, so
+  completed work stays pollable), job ``fail``, ``evict``, and
+  ``drain``.  What is deliberately *not* recorded: leases.  An
+  in-flight lease is a promise to one worker process; after a restart
+  that promise is worthless (the worker may be gone, and its token
+  check-bounces either way), so pending tasks simply re-enter their
+  queues and re-lease to the next worker — the exactly-once economy is
+  preserved by the same stale-token check that handles worker crashes.
+* **Self-compaction.**  Replaying a month of history to rebuild a
+  32-job table would be absurd, so once the file outgrows
+  :data:`JOURNAL_MAX_BYTES` it is rewritten as a *snapshot*: the
+  current table re-serialized as the minimal event sequence that
+  reproduces it (one ``submit`` plus its settled ``done``/``fail``
+  events per retained job).  The rewrite reuses the ``runs.jsonl``
+  pattern from :mod:`repro.engine.cache`: temp file + ``os.replace``
+  under an ``flock`` on a side file, so a crash mid-compaction leaves
+  either the old journal or the new one, never a mixture.
+* **Versioned alongside the wire protocol.**  Every record carries the
+  journal format version and the coordinator's
+  :data:`~repro.engine.distributed.coordinator.PROTOCOL_VERSION`; a
+  state dir written by an incompatible build fails loudly at startup
+  instead of resurrecting a subtly-wrong job table.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+try:                              # POSIX-only; the lock degrades to a
+    import fcntl                  # best-effort no-op elsewhere
+except ImportError:               # pragma: no cover
+    fcntl = None
+
+from repro.errors import DistributedError
+
+#: The journal file inside ``repro serve --state-dir``.
+JOURNAL_NAME = "queue.jsonl"
+
+#: Journal record format version.  Bump when the event shapes change in
+#: a way an older replay would misread; checked (together with the queue
+#: ``PROTOCOL_VERSION`` stamped on every record) before any replay.
+JOURNAL_VERSION = 1
+
+#: Compact (snapshot + truncate) once the journal grows past this size.
+JOURNAL_MAX_BYTES = 4 << 20
+
+
+class JobJournal:
+    """Append-only, fsync'd event log under one ``--state-dir``.
+
+    The journal knows nothing about jobs — it stores and replays opaque
+    event dicts.  The :class:`~repro.engine.distributed.coordinator.
+    Coordinator` owns the event vocabulary (and drives compaction by
+    handing back a snapshot when :meth:`append` reports the file has
+    outgrown its budget).
+    """
+
+    def __init__(self, state_dir: os.PathLike,
+                 max_bytes: int = JOURNAL_MAX_BYTES) -> None:
+        self.state_dir = Path(state_dir)
+        self.max_bytes = int(max_bytes)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def path(self) -> Path:
+        return self.state_dir / JOURNAL_NAME
+
+    def describe(self) -> str:
+        return f"journal:{self.path}"
+
+    # ------------------------------------------------------------------
+    def _stamp(self, event: dict) -> dict:
+        from repro.engine.distributed.coordinator import PROTOCOL_VERSION
+
+        record = {"v": JOURNAL_VERSION, "protocol": PROTOCOL_VERSION}
+        record.update(event)
+        return record
+
+    @contextlib.contextmanager
+    def _flock(self) -> Iterator[None]:
+        """Serialize appends and compaction across processes.
+
+        Compaction replaces the file, so an append racing it would land
+        on a dead inode and vanish.  The lock lives on a side file that
+        is never replaced (locking the journal itself would pin a stale
+        inode) — the same idiom as the cache's run-log lock.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        lock_path = self.state_dir / (JOURNAL_NAME + ".lock")
+        with open(lock_path, "w", encoding="utf-8") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def append(self, event: dict) -> bool:
+        """Durably append one event; True when compaction is due.
+
+        The record is flushed *and* fsync'd before this returns: once
+        the coordinator answers the request that caused the transition,
+        no crash can un-happen it.  Returns whether the journal has
+        outgrown ``max_bytes`` — the caller (who owns the live table)
+        then passes a snapshot to :meth:`compact`.
+        """
+        line = json.dumps(self._stamp(event), sort_keys=True)
+        try:
+            with self._flock():
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                return self.path.stat().st_size > self.max_bytes
+        except OSError as error:
+            raise DistributedError(
+                f"cannot journal to {self.path}: {error} — the job "
+                f"table would silently diverge from the state dir"
+            ) from error
+
+    def compact(self, snapshot_events: List[dict]) -> None:
+        """Atomically replace the journal with a snapshot event stream."""
+        lines = [json.dumps(self._stamp(event), sort_keys=True)
+                 for event in snapshot_events]
+        try:
+            with self._flock():
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.state_dir, prefix=".tmp-", suffix=".jsonl"
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        handle.write(
+                            "".join(line + "\n" for line in lines)
+                        )
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp, self.path)
+                except BaseException:
+                    with contextlib.suppress(OSError):
+                        os.unlink(tmp)
+                    raise
+        except OSError as error:
+            raise DistributedError(
+                f"cannot compact journal {self.path}: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    def replay(self) -> Tuple[List[dict], bool]:
+        """Every journaled event in order, plus a torn-final-line flag.
+
+        A journal that does not exist yet replays to an empty stream (a
+        fresh state dir).  The *final* line failing to parse is the
+        expected signature of a crash mid-append and is dropped — the
+        transition it described was never acknowledged to anyone.  A
+        malformed line anywhere *else*, or a record stamped by an
+        incompatible journal/protocol version, is real corruption (or a
+        build mismatch) and raises :class:`DistributedError` — silently
+        resurrecting half a job table would be worse than refusing to
+        start.
+        """
+        from repro.engine.distributed.coordinator import PROTOCOL_VERSION
+
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return [], False
+        except OSError as error:
+            raise DistributedError(
+                f"cannot read journal {self.path}: {error}"
+            ) from error
+        lines = raw.splitlines()
+        events: List[dict] = []
+        torn = False
+        for number, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("journal records are objects")
+            except (json.JSONDecodeError, ValueError) as error:
+                if number == len(lines):
+                    torn = True      # crash mid-append: drop and move on
+                    break
+                raise DistributedError(
+                    f"journal {self.path} is corrupt at line {number}: "
+                    f"{error} — refusing to replay a damaged job table "
+                    f"(move the file aside to start fresh)"
+                ) from error
+            version = record.get("v")
+            protocol = record.get("protocol")
+            if version != JOURNAL_VERSION or protocol != PROTOCOL_VERSION:
+                raise DistributedError(
+                    f"journal {self.path} line {number} was written by "
+                    f"an incompatible build (journal v{version!r} / "
+                    f"protocol v{protocol!r}; this build is journal "
+                    f"v{JOURNAL_VERSION} / protocol v{PROTOCOL_VERSION})"
+                    f" — replaying it could resurrect a wrong job table"
+                )
+            events.append(record)
+        return events, torn
+
+
+def open_journal(state_dir: Optional[os.PathLike],
+                 max_bytes: int = JOURNAL_MAX_BYTES
+                 ) -> Optional[JobJournal]:
+    """A :class:`JobJournal` for ``state_dir``, or None for in-memory."""
+    if state_dir is None:
+        return None
+    return JobJournal(state_dir, max_bytes=max_bytes)

@@ -137,6 +137,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "protocol_version": PROTOCOL_VERSION,
                 "backend": self.server.backend.describe(),
                 "lease_timeout": self.server.coordinator.lease_timeout,
+                # "journal:<path>" when the job table survives a
+                # restart (`repro serve --state-dir`), else "memory".
+                "durability": self.server.coordinator.durability,
             })
         elif parsed.path == "/export":
             query = parse_qs(parsed.query)
@@ -309,10 +312,23 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._read_json()
             if isinstance(body, dict) and isinstance(
                     body.get("renews"), list):
+                # A malformed entry is a client bug, and it gets the
+                # same 400 the single form gives it.  Mapping it to a
+                # False verdict instead (as this endpoint once did)
+                # reads as "lease gone" to the worker's heartbeat loop,
+                # which then stops renewing *healthy* leases — and the
+                # expiry requeue turns one buggy renew body into a
+                # fleet-wide recompute storm.
+                for entry in body["renews"]:
+                    if not isinstance(entry, dict) or "id" not in entry \
+                            or "lease" not in entry:
+                        self._send_error_json(
+                            400, "each renews[] entry needs id and lease"
+                        )
+                        return
                 self._send_json({"renewed": [
-                    isinstance(entry, dict)
-                    and coordinator.renew(str(entry.get("id")),
-                                          str(entry.get("lease")))
+                    coordinator.renew(str(entry["id"]),
+                                      str(entry["lease"]))
                     for entry in body["renews"]
                 ]})
                 return

@@ -65,7 +65,11 @@ from repro.engine.distributed.backend import (
     TieredBackend,
     http_json,
 )
-from repro.errors import DistributedError, ReproError
+from repro.errors import (
+    DistributedError,
+    DistributedUnavailable,
+    ReproError,
+)
 
 #: Default seconds between polls when the queue has nothing ready.
 DEFAULT_POLL = 0.2
@@ -73,6 +77,47 @@ DEFAULT_POLL = 0.2
 #: Default seconds :func:`dispatch_job` tolerates with no results *and*
 #: no leased tasks before concluding no worker is serving the queue.
 DEFAULT_STALL_TIMEOUT = 30.0
+
+#: Default seconds of *continuous* server unavailability a worker or
+#: dispatch client rides out (retrying with capped exponential backoff)
+#: before giving up — generous enough to cover a coordinator restart.
+DEFAULT_RECONNECT = 60.0
+
+#: First retry delay after a transport failure; doubles per retry.
+RECONNECT_BASE_DELAY = 0.5
+
+#: Ceiling on the doubling retry delay.
+RECONNECT_MAX_DELAY = 5.0
+
+
+def _retry_transport(call: Callable[[], dict], *,
+                     window: float) -> dict:
+    """Run ``call``, retrying transport failures with capped
+    exponential backoff for up to ``window`` seconds of continuous
+    outage.
+
+    Only :class:`DistributedUnavailable` (the server cannot be reached
+    at all) is retried — protocol-level rejections like "unknown job"
+    mean retrying can never help and pass straight through.  A
+    ``window`` of 0 (or less) disables retrying entirely.  The outage
+    clock starts at the first failure and resets on any success, so a
+    long-lived loop tolerates any number of *separate* blips; only one
+    continuous outage longer than ``window`` is fatal.
+    """
+    outage_since: Optional[float] = None
+    delay = RECONNECT_BASE_DELAY
+    while True:
+        try:
+            return call()
+        except DistributedUnavailable:
+            now = time.monotonic()
+            if outage_since is None:
+                outage_since = now
+            elapsed = now - outage_since
+            if window <= 0 or elapsed >= window:
+                raise
+            time.sleep(max(0.0, min(delay, window - elapsed)))
+            delay = min(delay * 2.0, RECONNECT_MAX_DELAY)
 
 
 def default_worker_id() -> str:
@@ -233,7 +278,8 @@ def work_loop(url: str, *, poll: float = DEFAULT_POLL,
               on_task: Optional[Callable[[str, dict], None]] = None,
               client: Optional[CoordinatorClient] = None,
               lease_batch: int = 1,
-              cache_dir: Optional[str] = None) -> WorkerSummary:
+              cache_dir: Optional[str] = None,
+              reconnect: float = DEFAULT_RECONNECT) -> WorkerSummary:
     """Pull tasks from ``url`` until told to shut down (or idled out).
 
     ``max_idle`` bounds how long the loop waits without receiving work
@@ -243,6 +289,15 @@ def work_loop(url: str, *, poll: float = DEFAULT_POLL,
     leased per round trip, and completed-task acks piggyback on the
     next lease call; ``cache_dir`` tiers a local disk cache in front of
     the server's HTTP backend (the WAN deployment shape).
+
+    ``reconnect`` is the fleet-survival knob: a lease/ack round trip
+    that hits a *transport* failure (server restarting, network blip)
+    is retried with capped exponential backoff for up to that many
+    seconds of continuous outage instead of killing the worker — so a
+    ``repro serve --state-dir`` restart finds its fleet still attached.
+    A task interrupted mid-compute by the outage is simply dropped
+    (its lease expires — or was never replayed — and it requeues);
+    pass ``reconnect=0`` to fail on the first transport error.
     """
     from repro.engine.distributed.coordinator import DEFAULT_LEASE_TIMEOUT
     from repro.engine.executor import Engine
@@ -270,9 +325,11 @@ def work_loop(url: str, *, poll: float = DEFAULT_POLL,
     # round trip: {"ack": <wire body>, "_kind": ..., "_task": ...}.
     pending: List[dict] = []
     while True:
-        response = client.lease(
-            worker, max_tasks=lease_batch,
-            acks=[entry["ack"] for entry in pending],
+        acks = [entry["ack"] for entry in pending]
+        response = _retry_transport(
+            lambda: client.lease(worker, max_tasks=lease_batch,
+                                 acks=acks),
+            window=reconnect,
         )
         _settle_verdicts(pending, response.get("acked") or [],
                          summary, on_task)
@@ -305,12 +362,19 @@ def work_loop(url: str, *, poll: float = DEFAULT_POLL,
         # timeout is not mistaken for a crashed worker (the requeue
         # would recompute its tasks elsewhere and discard our acks).
         held = {grant["id"]: grant["lease"] for grant in tasks}
+        # The renew thread iterates `held` while the main loop drops
+        # finished/failed entries from it; an unsynchronized snapshot
+        # can die with "dictionary changed size during iteration",
+        # which kills the heartbeat silently and loses every lease in
+        # a long batch.  All access goes through this lock.
+        held_lock = threading.Lock()
         renew_stop = threading.Event()
 
-        def _keep_renewed(held=held) -> None:
+        def _keep_renewed(held=held, held_lock=held_lock) -> None:
             misses = 0
             while not renew_stop.wait(lease_timeout / 3.0):
-                leases = list(held.items())
+                with held_lock:
+                    leases = list(held.items())
                 if not leases:
                     return
                 try:
@@ -339,7 +403,8 @@ def work_loop(url: str, *, poll: float = DEFAULT_POLL,
                 task = grant["task"]
                 task_id, lease = grant["id"], grant["lease"]
                 if task_id.partition(":")[0] in failed_jobs:
-                    held.pop(task_id, None)
+                    with held_lock:
+                        held.pop(task_id, None)
                     continue
                 try:
                     if task["kind"] == "trace":
@@ -363,16 +428,40 @@ def work_loop(url: str, *, poll: float = DEFAULT_POLL,
                                         run_result.result.to_payload()},
                             "_kind": "sim", "_task": task,
                         })
+                except DistributedUnavailable:
+                    # The server vanished mid-batch (a restart, a
+                    # blip).  Our leases will expire — or were never
+                    # replayed — so this batch's unacked work is
+                    # discarded server-side either way; drop it and
+                    # let the lease loop's backoff find the server
+                    # again rather than killing the worker.  The
+                    # engine's memos go too: a result computed but
+                    # never PUT (the outage may have hit between the
+                    # two) would otherwise be served from memo on the
+                    # re-lease without ever landing in the shared
+                    # cache, leaving the fleet's record set incomplete.
+                    if reconnect <= 0:
+                        raise
+                    engine = _make_engine()
+                    pending = []
+                    break
                 except DistributedError:
-                    raise     # server went away: the loop cannot go on
+                    raise     # protocol breakdown: the loop cannot go on
                 except ReproError as error:
                     # The task itself failed (bad spec, model crash):
                     # report it *immediately* — piggybacking a failure
                     # would delay the job's fail-fast verdict — then
                     # keep serving; the next task may belong to a
                     # healthy job.
-                    client.ack(task_id, lease, error=str(error))
-                    held.pop(task_id, None)
+                    try:
+                        client.ack(task_id, lease, error=str(error))
+                    except DistributedUnavailable:
+                        if reconnect <= 0:
+                            raise
+                        pending = []
+                        break
+                    with held_lock:
+                        held.pop(task_id, None)
                     summary.failures += 1
                     failed_jobs.add(task_id.partition(":")[0])
         finally:
@@ -386,7 +475,8 @@ def work_loop(url: str, *, poll: float = DEFAULT_POLL,
 def dispatch_job(client: CoordinatorClient, specs: List[dict], *,
                  scale: str, seed: int,
                  poll: float = DEFAULT_POLL,
-                 stall_timeout: float = DEFAULT_STALL_TIMEOUT
+                 stall_timeout: float = DEFAULT_STALL_TIMEOUT,
+                 reconnect: float = DEFAULT_RECONNECT
                  ) -> Iterator[Tuple[int, dict]]:
     """Submit a job and yield ``(spec index, cycles payload)`` pairs.
 
@@ -397,11 +487,19 @@ def dispatch_job(client: CoordinatorClient, specs: List[dict], *,
     one fleet concurrently without seeing each other's payloads.
 
     Raises :class:`DistributedError` when the job fails remotely, the
-    server disappears mid-flight (a restarted server no longer knows
-    the job id), or — after ``stall_timeout`` seconds with no results
+    server rejects the job id (an in-memory server that restarted and
+    forgot it), or — after ``stall_timeout`` seconds with no results
     and no leased tasks anywhere on the fleet — no worker is serving
     the queue at all (leases held by live workers never trip the
     timer, so long-running tasks and a busy fleet are fine).
+
+    Transport-level outages shorter than ``reconnect`` seconds are
+    ridden out with capped exponential backoff: against a ``repro
+    serve --state-dir`` server, a restart mid-dispatch is invisible
+    here — the journal replays the job, the cursor still means the
+    same thing, and polling resumes where it left off.  (Against an
+    in-memory server the poll reconnects too, but the job is gone and
+    the "unknown job" rejection — not retryable — surfaces as usual.)
     """
     client.check_version()
     receipt = client.submit(specs, scale=scale, seed=seed)
@@ -409,7 +507,17 @@ def dispatch_job(client: CoordinatorClient, specs: List[dict], *,
     cursor = 0
     last_progress = time.monotonic()
     while True:
-        batch = client.results_since(job_id, cursor)
+        try:
+            batch = client.results_since(job_id, cursor)
+        except DistributedUnavailable:
+            batch = _retry_transport(
+                lambda: client.results_since(job_id, cursor),
+                window=reconnect,
+            )
+            # An outage is not a stalled fleet: the workers are on
+            # their own reconnect backoff, so grant a fresh stall
+            # window before declaring that nobody is serving.
+            last_progress = time.monotonic()
         if batch.get("job") != job_id:
             # The job-scoped protocol should make this impossible; a
             # mismatch means the endpoint is not the server we
@@ -433,7 +541,8 @@ def dispatch_job(client: CoordinatorClient, specs: List[dict], *,
         if results:
             last_progress = now
         elif now - last_progress >= stall_timeout:
-            if not client.status().get("leased"):
+            if not _retry_transport(client.status,
+                                    window=reconnect).get("leased"):
                 raise DistributedError(
                     f"dispatched job stalled: no results and no leased "
                     f"tasks for {stall_timeout:.0f}s — is any 'repro "

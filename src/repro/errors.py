@@ -62,3 +62,13 @@ class DistributedError(EngineError):
     """The distributed execution subsystem failed: a cache server or
     coordinator is unreachable, speaks a different engine version, a
     dispatched job was rejected, or a remote worker reported a failure."""
+
+
+class DistributedUnavailable(DistributedError):
+    """A *transport-level* distributed failure: the server could not be
+    reached at all (connection refused, timeout, it vanished
+    mid-request, or it answered with bytes that are not JSON).  Unlike
+    its parent — which also covers protocol-level rejections such as
+    "unknown job" that retrying can never fix — this condition is
+    plausibly transient, so workers and dispatch clients may retry with
+    backoff instead of dying on the first server restart."""

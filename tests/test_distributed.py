@@ -58,7 +58,11 @@ from repro.engine.distributed.worker import (
     work_loop,
 )
 from repro.engine.spec import trace_cache_key
-from repro.errors import ConfigurationError, DistributedError
+from repro.errors import (
+    ConfigurationError,
+    DistributedError,
+    DistributedUnavailable,
+)
 
 VN = ModelSpec.make("von_neumann")
 MARIONETTE = ModelSpec.make("marionette")
@@ -1348,3 +1352,284 @@ class TestDispatchFlagValidation:
     def test_no_effect_combinations_are_rejected(self, argv, capsys):
         assert main(argv) == 2
         assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Fleet reliability: heartbeat race, reconnect backoff, wire contracts
+# ----------------------------------------------------------------------
+class TestFleetReliability:
+    @pytest.fixture()
+    def fast_backoff(self, monkeypatch):
+        """Millisecond-scale reconnect backoff, so tests do not sleep."""
+        from repro.engine.distributed import worker as worker_module
+
+        monkeypatch.setattr(worker_module, "RECONNECT_BASE_DELAY", 0.001)
+        monkeypatch.setattr(worker_module, "RECONNECT_MAX_DELAY", 0.002)
+
+    def test_malformed_batch_renew_entry_is_a_400(self, server):
+        # Wire contract: the batch form rejects a malformed entry with
+        # 400 exactly like the single form.  The old behaviour — a
+        # False verdict — read as "lease gone" to the heartbeat loop,
+        # which then stopped renewing *healthy* leases and turned one
+        # buggy renew body into a fleet-wide recompute storm.
+        from repro.engine.distributed.backend import http_json
+
+        client = CoordinatorClient(server.url)
+        client.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        grant = client.lease("w", max_tasks=1)["tasks"][0]
+        with pytest.raises(DistributedError, match="HTTP 400"):
+            http_json("POST", f"{server.url}/queue/renew", body={
+                "renews": [
+                    {"id": grant["id"], "lease": grant["lease"]},
+                    {"not": "a renew"},
+                ],
+            })
+        # Well-formed-but-unknown entries still map to False verdicts
+        # (stale is an answer, not a client bug) ...
+        assert client.renew_many([
+            (grant["id"], grant["lease"]), ("bogus-task", "L-bogus"),
+        ]) == [True, False]
+        # ... and the rejected call did not touch the healthy lease.
+        assert client.ack(grant["id"], grant["lease"], computed=True)
+
+    def test_finished_job_is_evicted_at_done_time_not_next_submit(
+            self, monkeypatch):
+        from repro.engine.distributed import coordinator as module
+
+        monkeypatch.setattr(module, "FINISHED_JOB_RETENTION", 0)
+        coordinator = Coordinator()
+        receipt = coordinator.submit(_payloads(_specs()[:1]),
+                                     scale="tiny", seed=0)
+        trace = coordinator.lease("w")
+        assert coordinator.ack(trace["id"], trace["lease"],
+                               computed=True)
+        sim = coordinator.lease("w")
+        assert coordinator.ack(sim["id"], sim["lease"],
+                               result={"cycles": 1})
+        # The completing ack itself ran the retention sweep: on a quiet
+        # serve there may never be a next submit to trigger it, and
+        # until then the job would pin its results payloads in RAM.
+        assert coordinator.status()["jobs"] == []
+        with pytest.raises(DistributedError, match="unknown job"):
+            coordinator.results_since(receipt["job"], 0)
+        # Lifetime stats survived the eviction.
+        assert coordinator.status()["stats"]["traces_computed"] == 1
+
+    def test_failed_job_is_evicted_at_fail_time_too(self, monkeypatch):
+        from repro.engine.distributed import coordinator as module
+
+        monkeypatch.setattr(module, "FINISHED_JOB_RETENTION", 0)
+        coordinator = Coordinator()
+        coordinator.submit(_payloads(_specs()[:1]), scale="tiny", seed=0)
+        grant = coordinator.lease("w")
+        assert coordinator.ack(grant["id"], grant["lease"],
+                               error="boom")
+        assert coordinator.status()["jobs"] == []
+
+    def test_heartbeat_survives_pop_while_renew(self, monkeypatch):
+        # Regression hammer for the `held` data race: the renew thread
+        # snapshots the dict every millisecond while the main loop pops
+        # hundreds of entries.  Unsynchronized, this dies with
+        # "RuntimeError: dictionary changed size during iteration" —
+        # silently, in a daemon thread, taking the heartbeat (and then
+        # every lease in the batch) with it.
+        class RacyClient:
+            base_url = "stub://racy"
+
+            def __init__(self, batch=400, rounds=3):
+                self.batch, self.rounds = batch, rounds
+                self.round = 0
+
+            def check_version(self):
+                return {"lease_timeout": 0.003}   # ~1ms renew interval
+
+            def lease(self, worker, max_tasks=1, acks=None):
+                self.round += 1
+                if self.round > self.rounds:
+                    return {"shutdown": True, "acked": []}
+                return {"acked": [], "tasks": [
+                    {"task": {"kind": "sim", "index": i,
+                              "spec": {"malformed": True}},
+                     "id": f"j{self.round}-x:s{i}",
+                     "lease": f"L{self.round}.{i}"}
+                    for i in range(self.batch)
+                ]}
+
+            def renew_many(self, leases):
+                return [True] * len(leases)
+
+            def ack(self, task_id, lease, **_kwargs):
+                return True
+
+        crashed = []
+        monkeypatch.setattr(
+            threading, "excepthook",
+            lambda args, _record=crashed: _record.append(args),
+        )
+        summary = work_loop("stub://racy", client=RacyClient(),
+                            poll=0.001, worker_id="racer")
+        assert not crashed, (
+            f"heartbeat thread died: {crashed[0].exc_type.__name__}: "
+            f"{crashed[0].exc_value}"
+        )
+        # One malformed spec fails each round's job; the siblings are
+        # skipped (popped from `held`) — which is the hammer itself.
+        assert summary.failures == 3
+
+    def test_server_death_mid_response_is_transport_class(self):
+        # A SIGKILLed serve can die between sending its headers and
+        # finishing the body; urllib surfaces that as
+        # http.client.IncompleteRead — an HTTPException, *not* an
+        # OSError.  It must map to DistributedUnavailable (retryable)
+        # like every other flavour of "the server went away": the
+        # restart-survival lane caught a worker dying on the raw
+        # traceback instead of riding the restart out.
+        from repro.engine.distributed.backend import http_json
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def half_answer():
+            conn, _addr = listener.accept()
+            conn.recv(65536)
+            conn.sendall(b"HTTP/1.0 200 OK\r\n"
+                         b"Content-Type: application/json\r\n"
+                         b"Content-Length: 100\r\n\r\n{\"tr")
+            conn.close()
+
+        thread = threading.Thread(target=half_answer, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(DistributedUnavailable):
+                http_json("GET", f"http://127.0.0.1:{port}/health",
+                          timeout=10.0)
+        finally:
+            thread.join(timeout=10)
+            listener.close()
+
+    def test_worker_rides_out_a_transient_outage(self, fast_backoff):
+        class FlakyClient:
+            base_url = "stub://flaky"
+
+            def __init__(self, failures=4):
+                self.failures = failures
+                self.calls = 0
+
+            def check_version(self):
+                return {"lease_timeout": 30.0}
+
+            def lease(self, worker, max_tasks=1, acks=None):
+                self.calls += 1
+                if self.calls <= self.failures:
+                    raise DistributedUnavailable("server restarting")
+                return {"shutdown": True, "acked": []}
+
+        client = FlakyClient()
+        work_loop("stub://flaky", client=client, poll=0.001,
+                  reconnect=30.0)
+        assert client.calls == 5   # 4 failures ridden out, then done
+
+    def test_worker_gives_up_after_the_outage_window(self,
+                                                     fast_backoff):
+        class DeadClient:
+            base_url = "stub://dead"
+            calls = 0
+
+            def check_version(self):
+                return {"lease_timeout": 30.0}
+
+            def lease(self, worker, max_tasks=1, acks=None):
+                self.calls += 1
+                raise DistributedUnavailable("still gone")
+
+        with pytest.raises(DistributedUnavailable, match="still gone"):
+            work_loop("stub://dead", client=DeadClient(), poll=0.001,
+                      reconnect=0.05)
+
+    def test_reconnect_zero_fails_on_the_first_transport_error(self):
+        class DeadClient:
+            base_url = "stub://dead"
+            calls = 0
+
+            def check_version(self):
+                return {"lease_timeout": 30.0}
+
+            def lease(self, worker, max_tasks=1, acks=None):
+                self.calls += 1
+                raise DistributedUnavailable("gone")
+
+        client = DeadClient()
+        with pytest.raises(DistributedUnavailable):
+            work_loop("stub://dead", client=client, poll=0.001,
+                      reconnect=0.0)
+        assert client.calls == 1
+
+    def test_protocol_errors_are_never_retried(self, fast_backoff):
+        # "unknown job", version skew, malformed bodies: retrying
+        # cannot fix those, so they must pass straight through the
+        # reconnect machinery however generous the window.
+        class RejectingClient:
+            base_url = "stub://reject"
+            calls = 0
+
+            def check_version(self):
+                return {"lease_timeout": 30.0}
+
+            def lease(self, worker, max_tasks=1, acks=None):
+                self.calls += 1
+                raise DistributedError("queue protocol skew")
+
+        client = RejectingClient()
+        with pytest.raises(DistributedError, match="protocol skew"):
+            work_loop("stub://reject", client=client, poll=0.001,
+                      reconnect=3600.0)
+        assert client.calls == 1
+
+    def test_dispatch_poll_rides_out_an_outage(self, fast_backoff):
+        class FlakyQueue:
+            base_url = "stub://flaky"
+
+            def __init__(self):
+                self.polls = 0
+
+            def check_version(self):
+                return {}
+
+            def submit(self, specs, *, scale, seed):
+                return {"job": "j1-x"}
+
+            def results_since(self, job_id, cursor):
+                self.polls += 1
+                if self.polls <= 3:
+                    raise DistributedUnavailable("server restarting")
+                return {"job": "j1-x",
+                        "results": [[0, {"cycles": 1}]],
+                        "done": True, "failed": None}
+
+        landed = list(dispatch_job(
+            FlakyQueue(), _payloads(_specs()[:1]), scale="tiny",
+            seed=0, poll=0.001, reconnect=30.0,
+        ))
+        assert landed == [(0, {"cycles": 1})]
+
+    def test_dispatch_poll_gives_up_after_the_window(self,
+                                                     fast_backoff):
+        class DeadQueue:
+            base_url = "stub://dead"
+
+            def check_version(self):
+                return {}
+
+            def submit(self, specs, *, scale, seed):
+                return {"job": "j1-x"}
+
+            def results_since(self, job_id, cursor):
+                raise DistributedUnavailable("still gone")
+
+        with pytest.raises(DistributedUnavailable, match="still gone"):
+            list(dispatch_job(
+                DeadQueue(), _payloads(_specs()[:1]), scale="tiny",
+                seed=0, poll=0.001, reconnect=0.05,
+            ))
