@@ -1,6 +1,34 @@
-"""Hardware structure: parameters, PE grid topology, and networks."""
+"""Hardware structure: parameters, descriptions, PE grid, and networks."""
 
-from repro.arch.params import ArchParams, DEFAULT_PARAMS
+from repro.arch.params import (
+    ArchParams,
+    CONTROL_TOPOLOGIES,
+    DEFAULT_PARAMS,
+)
+from repro.arch.spec import (
+    ARCH_SCHEMA_VERSION,
+    ArchDescription,
+    DEFAULT_ARCH,
+    dump_arch,
+    load_arch,
+    load_arch_sweep,
+    loads_arch,
+    save_arch,
+)
 from repro.arch.topology import Coord, Grid
 
-__all__ = ["ArchParams", "DEFAULT_PARAMS", "Coord", "Grid"]
+__all__ = [
+    "ArchParams",
+    "CONTROL_TOPOLOGIES",
+    "DEFAULT_PARAMS",
+    "ARCH_SCHEMA_VERSION",
+    "ArchDescription",
+    "DEFAULT_ARCH",
+    "dump_arch",
+    "load_arch",
+    "load_arch_sweep",
+    "loads_arch",
+    "save_arch",
+    "Coord",
+    "Grid",
+]

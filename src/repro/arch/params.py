@@ -24,6 +24,22 @@ from typing import Tuple
 
 from repro.errors import ConfigurationError
 
+#: Control-network topology choices (paper Section 4 / Fig. 6).  The full
+#: design pairs copy-and-spread (CS) stages for multicast with a Benes
+#: permutation network; the ablated variants keep one half, and ``mesh``
+#: drops the dedicated network entirely, sending control over the data
+#: mesh.
+CONTROL_TOPOLOGIES = ("mesh", "cs", "benes", "cs_benes")
+
+#: Effective control-transfer cost per topology, as a multiple of
+#: ``ctrl_net_latency``.  A CS-only network must serialize conflicting
+#: peer-to-peer transfers (it can only spread, not permute); a
+#: Benes-only network must serialize multicasts (it can only permute,
+#: not spread).  Both are approximated as doubling the effective
+#: transfer latency — the combined CS-Benes network is the calibrated
+#: 1x baseline.  ``mesh`` is handled separately (data-mesh latency).
+_TOPOLOGY_LATENCY_FACTOR = {"cs_benes": 1, "cs": 2, "benes": 2}
+
 
 @dataclass(frozen=True)
 class ArchParams:
@@ -53,6 +69,9 @@ class ArchParams:
     technology_nm: int = 28
     data_width_bits: int = 32
 
+    # Control-network topology (one of :data:`CONTROL_TOPOLOGIES`).
+    control_topology: str = "cs_benes"
+
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:
             raise ConfigurationError("array dimensions must be positive")
@@ -60,14 +79,38 @@ class ArchParams:
             raise ConfigurationError(
                 "more nonlinear PEs than PEs in the array"
             )
+        if self.nonlinear_pes < 0:
+            raise ConfigurationError("nonlinear_pes must be non-negative")
         for name in ("t_config", "t_execute", "data_net_latency",
-                     "ctrl_net_latency", "mesh_hop_latency"):
+                     "ctrl_net_latency", "mesh_hop_latency",
+                     "sram_banks", "sram_kb", "inst_scratchpad_kb",
+                     "control_fifo_depth", "frequency_mhz",
+                     "technology_nm", "data_width_bits"):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be positive")
+        if self.control_topology not in CONTROL_TOPOLOGIES:
+            raise ConfigurationError(
+                f"control_topology {self.control_topology!r} unknown; "
+                f"pick one of {CONTROL_TOPOLOGIES}"
+            )
 
     @property
     def n_pes(self) -> int:
         return self.rows * self.cols
+
+    @property
+    def control_transfer_latency(self) -> int:
+        """Cycles for one control transfer under the selected topology.
+
+        ``cs_benes`` is the calibrated baseline (``ctrl_net_latency``);
+        the single-half networks pay the serialization factor documented
+        at :data:`_TOPOLOGY_LATENCY_FACTOR`; ``mesh`` has no dedicated
+        control network at all, so control rides the data mesh.
+        """
+        if self.control_topology == "mesh":
+            return self.data_net_latency
+        return (self.ctrl_net_latency
+                * _TOPOLOGY_LATENCY_FACTOR[self.control_topology])
 
     @property
     def ccu_round_trip(self) -> int:

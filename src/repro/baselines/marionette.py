@@ -42,7 +42,10 @@ class MarionetteModel(ArchModel):
             static_whole_kernel=False,    # autonomous reconfiguration
             per_token_config=0,           # control decoupled from tokens
             ctrl_latency=(
-                params.ctrl_net_latency if control_network
+                # The selected topology sets the dedicated network's
+                # effective transfer cost (cs_benes is the calibrated
+                # 1-cycle baseline; see ArchParams.control_transfer_latency).
+                params.control_transfer_latency if control_network
                 else params.data_net_latency
             ),
             uses_ccu=False,

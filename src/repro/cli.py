@@ -6,16 +6,21 @@ Commands:
 * ``bench [--scale S] [--seed N] [--jobs N] [--cache-dir PATH]
   [--format ascii|json|csv] [--stream] [--shard K/N]
   [--export-shard PATH] [--merge-shards PATH...] [--dispatch URL]
-  [--prune-to-budget] [--profile] [--profile-out PATH]`` — the full
-  report through the parallel experiment engine, with on-disk trace
-  caching, machine-readable exports, streaming per-spec progress,
-  fingerprint-prefix sharding across CI jobs (shard runs emit a
-  mergeable export; ``--merge-shards`` reassembles the canonical
-  report, byte-identical to an unsharded run), dynamic dispatch to a
-  ``repro serve`` worker fleet (``--dispatch``, also byte-identical),
-  and phase profiling (``--profile`` times the trace / per-model
-  simulate / assemble phases and writes a ``BENCH_<timestamp>.json``
-  perf-trajectory record — the report itself is unchanged);
+  [--arch FILE] [--arch-sweep DIR] [--prune-to-budget] [--profile]
+  [--profile-out PATH]`` — the full report through the parallel
+  experiment engine, with on-disk trace caching, machine-readable
+  exports, streaming per-spec progress, fingerprint-prefix sharding
+  across CI jobs (shard runs emit a mergeable export;
+  ``--merge-shards`` reassembles the canonical report, byte-identical
+  to an unsharded run), dynamic dispatch to a ``repro serve`` worker
+  fleet (``--dispatch``, also byte-identical), architecture selection
+  (``--arch FILE`` prices the whole evaluation on a loaded
+  architecture description; ``--arch-sweep DIR`` emits one report
+  section per spec file in deterministic filename order — see
+  docs/ARCH.md), and phase profiling (``--profile`` times the trace /
+  per-model simulate / assemble phases and writes a
+  ``BENCH_<timestamp>.json`` perf-trajectory record — the report
+  itself is unchanged);
 * ``serve [--host H] [--port P] [--cache-dir PATH]
   [--lease-timeout S] [--schedule fifo|fair]`` — the distributed
   endpoint: an HTTP cache server (shards and workers share
@@ -52,7 +57,7 @@ import json
 import sys
 from typing import Callable, Dict, List
 
-from repro.arch.params import DEFAULT_PARAMS
+from repro.arch.params import ArchParams, DEFAULT_PARAMS
 from repro.errors import ReproError
 from repro.baselines import (
     DataflowModel,
@@ -90,6 +95,21 @@ def _progress_line(done: int, total: int, run_result) -> str:
             f"({origin})")
 
 
+def _report_meta(args) -> Dict[str, object]:
+    """The JSON document's identifying metadata.
+
+    The ``arch`` stanza appears only in ``--arch-sweep`` sections —
+    a single-variant run (flagless or ``--arch FILE``) must stay
+    byte-identical to the canonical report, which carries no arch
+    stanza.
+    """
+    meta: Dict[str, object] = {"scale": args.scale, "seed": args.seed}
+    arch_meta = getattr(args, "arch_meta", None)
+    if arch_meta:
+        meta["arch"] = arch_meta
+    return meta
+
+
 def _emit_report(results, args) -> None:
     from repro.engine import report_csv, report_json
     from repro.experiments.report import render_results
@@ -98,15 +118,12 @@ def _emit_report(results, args) -> None:
         print(render_results(results, args.scale, args.seed))
     elif args.format == "json":
         stats = args.engine.stats.as_dict() if args.stats else None
-        print(report_json(
-            results, stats=stats,
-            meta={"scale": args.scale, "seed": args.seed},
-        ))
+        print(report_json(results, stats=stats, meta=_report_meta(args)))
     else:
         print(report_csv(results))
 
 
-def _emit_streamed(pairs, args) -> None:
+def _emit_streamed(pairs, args, params=DEFAULT_PARAMS) -> None:
     """Emit the report from a live stream of per-spec landings.
 
     ASCII assembles *incrementally*: each experiment's table prints the
@@ -118,7 +135,8 @@ def _emit_streamed(pairs, args) -> None:
     """
     from repro.experiments.report import assemble_stream, report_header
 
-    assembled = assemble_stream(pairs, args.scale, args.seed, args.engine)
+    assembled = assemble_stream(pairs, args.scale, args.seed, args.engine,
+                                params)
     if args.format == "ascii":
         # The exact header render_results() writes, then each table as
         # it becomes available.
@@ -168,17 +186,38 @@ def _finish_bench_run(engine, args, **context) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.arch.spec import load_arch, load_arch_sweep
     from repro.engine import (
         Engine,
         merge_shard_documents,
-        parse_shard,
         read_shard_export,
-        shard_export_document,
-        shard_specs,
-        write_shard_export,
     )
-    from repro.experiments.report import all_specs, run_all
+    from repro.experiments.report import run_all
 
+    if args.arch and args.arch_sweep:
+        print("error: --arch and --arch-sweep are mutually exclusive — "
+              "a sweep directory already names every variant",
+              file=sys.stderr)
+        return 2
+    if (args.arch or args.arch_sweep) and args.merge_shards:
+        print("error: --arch/--arch-sweep have no effect with "
+              "--merge-shards — the exports name the architecture they "
+              "came from", file=sys.stderr)
+        return 2
+    if args.arch_sweep and args.profile:
+        print("error: --profile times one batch run — it cannot be "
+              "combined with --arch-sweep", file=sys.stderr)
+        return 2
+    if args.arch_sweep and args.stats:
+        print("error: --stats attaches one engine's counters to one "
+              "JSON document — it cannot be combined with --arch-sweep",
+              file=sys.stderr)
+        return 2
+    if args.arch_sweep and args.export_shard:
+        print("error: --export-shard writes one file, but --arch-sweep "
+              "emits one shard export per variant — read them from "
+              "stdout (one JSON line each)", file=sys.stderr)
+        return 2
     if args.shard and args.merge_shards:
         print("error: --shard and --merge-shards are mutually exclusive",
               file=sys.stderr)
@@ -250,22 +289,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     def progress(done: int, total: int, run_result) -> None:
         print(_progress_line(done, total, run_result), file=sys.stderr)
 
-    if args.dispatch:
-        # The fleet computes; _run_dispatch builds its own HTTP-backed
-        # engine, so don't construct a local one just to discard it.
-        return _run_dispatch(args, progress)
-
-    engine = Engine(cache_dir=args.cache_dir, jobs=args.jobs)
-    args.engine = engine
+    args.arch_desc = None
+    args.arch_meta = None
 
     if args.merge_shards:
         documents = [read_shard_export(path) for path in args.merge_shards]
         merged = merge_shard_documents(documents)
-        # The exports name the sweep they came from; explicit
-        # --scale/--seed were rejected above.
+        # The exports name the sweep — and the architecture — they came
+        # from; explicit --scale/--seed/--arch were rejected above.
         args.scale, args.seed = merged["scale"], merged["seed"]
+        params = (ArchParams(**merged["params"])
+                  if merged["params"] is not None else DEFAULT_PARAMS)
+        engine = Engine(cache_dir=args.cache_dir, jobs=args.jobs)
+        args.engine = engine
         engine.cache.preload(merged["entries"])
-        results = run_all(args.scale, args.seed, engine=engine)
+        results = run_all(args.scale, args.seed, engine=engine,
+                          params=params)
         if engine.stats.traces_computed or engine.stats.simulations:
             print(
                 f"warning: shard exports were incomplete — recomputed "
@@ -277,9 +316,77 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         _finish_bench_run(engine, args, merged_shards=len(documents))
         return 0
 
+    if args.arch_sweep:
+        variants = load_arch_sweep(args.arch_sweep)
+        # One engine across the whole sweep shares every functional
+        # trace (trace identity excludes params).  Shard runs get a
+        # fresh engine per variant instead: a shard export is one
+        # variant's working set, and a shared memory layer would leak
+        # earlier variants' records into later exports.
+        engine = (None if args.dispatch or args.shard
+                  else Engine(cache_dir=args.cache_dir, jobs=args.jobs))
+        for index, (path, desc) in enumerate(variants):
+            args.arch_desc = desc
+            args.arch_meta = {"name": desc.name, "file": path.name,
+                              "fingerprint": desc.fingerprint()}
+            if not args.shard:
+                if index:
+                    print()  # blank line between report sections
+                header = (f"arch: {desc.name} ({path.name}) "
+                          f"fingerprint {desc.fingerprint()[:12]}")
+                if args.format == "ascii":
+                    print(f"== {header} ==")
+                elif args.format == "csv":
+                    print(f"# {header}")
+                # JSON sections carry the arch stanza inside the
+                # document instead of a header line.
+            code = _bench_variant(args, progress, engine=engine)
+            if code:
+                return code
+        print(f"arch sweep: {len(variants)} variant(s) from "
+              f"{args.arch_sweep}", file=sys.stderr)
+        return 0
+
+    if args.arch:
+        args.arch_desc = load_arch(args.arch)
+    return _bench_variant(args, progress)
+
+
+def _bench_variant(args, progress, engine=None) -> int:
+    """One architecture variant through the selected execution mode.
+
+    ``args.arch_desc`` (None = the default architecture) supplies the
+    :class:`~repro.arch.params.ArchParams` every spec prices; the
+    shard/stream/dispatch/profile machinery is completely arch-agnostic
+    — specs carry their parameters, so variants land on disjoint
+    fingerprints with no extra plumbing.
+    """
+    from repro.engine import (
+        Engine,
+        parse_shard,
+        shard_export_document,
+        shard_specs,
+        write_shard_export,
+    )
+    from repro.experiments.report import all_specs, run_all
+
+    desc = args.arch_desc
+    params = desc.params if desc is not None else DEFAULT_PARAMS
+    context = {"arch": desc.name} if desc is not None else {}
+
+    if args.dispatch:
+        # The fleet computes; _run_dispatch builds its own HTTP-backed
+        # engine, so don't construct a local one just to discard it.
+        return _run_dispatch(args, progress, params, context)
+
+    if engine is None:
+        engine = Engine(cache_dir=args.cache_dir, jobs=args.jobs)
+    args.engine = engine
+
     if args.shard:
         index, count = parse_shard(args.shard)
-        specs = shard_specs(all_specs(args.scale, args.seed), index, count)
+        specs = shard_specs(all_specs(args.scale, args.seed, params),
+                            index, count)
         if args.stream:
             for done, (_i, run_result) in enumerate(
                     engine.stream(specs), 1):
@@ -290,40 +397,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # export is complete and the merge recomputes nothing.
         engine.prefetch_traces(specs)
         document = shard_export_document(
-            engine, scale=args.scale, seed=args.seed, shard=(index, count)
+            engine, scale=args.scale, seed=args.seed,
+            shard=(index, count),
+            params=params if desc is not None else None,
+            arch=desc.name if desc is not None else None,
         )
         if args.export_shard:
             write_shard_export(args.export_shard, document)
         else:
             print(json.dumps(document, sort_keys=True))
+        label = f"[{desc.name}] " if desc is not None else ""
         print(
-            f"shard {index}/{count}: {len(specs)} specs, "
+            f"{label}shard {index}/{count}: {len(specs)} specs, "
             f"{len(document['entries'])} cache records"
             + (f" -> {args.export_shard}" if args.export_shard else ""),
             file=sys.stderr,
         )
-        _finish_bench_run(engine, args, shard=f"{index}/{count}")
+        _finish_bench_run(engine, args, shard=f"{index}/{count}",
+                          **context)
         return 0
 
     if args.profile:
-        return _run_profiled(engine, args)
+        return _run_profiled(engine, args, params, context)
 
     if args.stream:
         from repro.experiments.report import stream_pairs
 
         _emit_streamed(
             stream_pairs(args.scale, args.seed, engine,
-                         on_result=progress),
-            args,
+                         on_result=progress, params=params),
+            args, params,
         )
     else:
-        results = run_all(args.scale, args.seed, engine=engine)
+        results = run_all(args.scale, args.seed, engine=engine,
+                          params=params)
         _emit_report(results, args)
-    _finish_bench_run(engine, args)
+    _finish_bench_run(engine, args, **context)
     return 0
 
 
-def _run_profiled(engine, args) -> int:
+def _run_profiled(engine, args, params=DEFAULT_PARAMS,
+                  context: Dict[str, object] = {}) -> int:
     """``repro bench --profile``: the batch report with phase timings.
 
     Runs the same specs as a plain batch bench, split into timed phases
@@ -339,13 +453,15 @@ def _run_profiled(engine, args) -> int:
     from repro.experiments.report import all_specs, run_all
 
     profiler = BenchProfiler(engine)
-    specs = all_specs(args.scale, args.seed)
+    specs = all_specs(args.scale, args.seed, params)
     profiler.run_engine_phases(specs)
     # run_all replays the now-warm memo and assembles every experiment
     # table — the report comes out of this phase, so "assemble" also
     # measures the warm-cache replay cost.
     results = profiler.phase(
-        "assemble", lambda: run_all(args.scale, args.seed, engine=engine)
+        "assemble",
+        lambda: run_all(args.scale, args.seed, engine=engine,
+                        params=params),
     )
     _emit_report(results, args)
     document = profiler.document(scale=args.scale, seed=args.seed,
@@ -361,11 +477,12 @@ def _run_profiled(engine, args) -> int:
               file=sys.stderr)
     print(f"profile: {document['total_seconds']:.3f}s total over "
           f"{len(specs)} specs -> {path}", file=sys.stderr)
-    _finish_bench_run(engine, args, profile=str(path))
+    _finish_bench_run(engine, args, profile=str(path), **context)
     return 0
 
 
-def _run_dispatch(args, progress) -> int:
+def _run_dispatch(args, progress, params=DEFAULT_PARAMS,
+                  context: Dict[str, object] = {}) -> int:
     """``repro bench --dispatch URL``: run the sweep on a worker fleet.
 
     The specs go to the coordinator as one job; workers pull them
@@ -386,7 +503,7 @@ def _run_dispatch(args, progress) -> int:
     from repro.errors import DistributedError
     from repro.experiments.report import all_specs
 
-    specs = all_specs(args.scale, args.seed)
+    specs = all_specs(args.scale, args.seed, params)
     client = CoordinatorClient(args.dispatch)
     # Traces the assembly needs come over HTTP from the shared cache;
     # cycle results are preloaded into the memory layer as they land.
@@ -414,7 +531,7 @@ def _run_dispatch(args, progress) -> int:
                 ))
             yield index, payload
 
-    _emit_streamed(landed(), args)
+    _emit_streamed(landed(), args, params)
     if engine.stats.traces_computed or engine.stats.simulations:
         print(
             f"warning: the dispatched working set was incomplete — "
@@ -422,7 +539,7 @@ def _run_dispatch(args, progress) -> int:
             f"{engine.stats.simulations} simulations locally",
             file=sys.stderr,
         )
-    _finish_bench_run(engine, args, dispatch=args.dispatch)
+    _finish_bench_run(engine, args, dispatch=args.dispatch, **context)
     return 0
 
 
@@ -732,6 +849,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the sweep on a 'repro serve' worker "
                               "fleet (dynamic work stealing; report is "
                               "byte-identical to a local run)")
+    p_bench.add_argument("--arch", default=None, metavar="FILE",
+                         help="price the whole evaluation on this "
+                              "architecture description (JSON, see "
+                              "docs/ARCH.md; the default spec file "
+                              "reproduces the flagless report "
+                              "byte-for-byte)")
+    p_bench.add_argument("--arch-sweep", default=None, metavar="DIR",
+                         help="run every *.json architecture "
+                              "description in DIR (deterministic "
+                              "filename order), emitting one report "
+                              "section per spec file — composes with "
+                              "--shard, --stream, and --dispatch")
     p_bench.add_argument("--prune-to-budget", action="store_true",
                          help="after the run, prune the cache down to "
                               "the size budget instead of only warning "

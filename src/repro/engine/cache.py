@@ -59,7 +59,10 @@ from repro.errors import ConfigurationError
 #: same addresses, which the envelope check would silently treat as
 #: misses; the bump moves every key to a fresh address and lets
 #: ``repro cache prune --drop-stale-versions`` reclaim the old files.
-ENGINE_VERSION = 2
+#: v3: the architecture-description layer added ``control_topology`` to
+#: every params token, so every cycle-record key changed shape; the bump
+#: makes the orphaned v2 records reclaimable instead of invisible.
+ENGINE_VERSION = 3
 
 #: Append-only per-run statistics log kept next to the records.
 RUN_LOG_NAME = "runs.jsonl"

@@ -80,9 +80,17 @@ def report_json(results: Sequence, *, stats: Optional[Dict[str, int]] = None,
 
 
 def shard_export_document(engine, *, scale: str, seed: int,
-                          shard: Optional[Tuple[int, int]] = None
+                          shard: Optional[Tuple[int, int]] = None,
+                          params=None, arch: Optional[str] = None
                           ) -> Dict[str, object]:
-    """One engine run's working set as a mergeable shard export."""
+    """One engine run's working set as a mergeable shard export.
+
+    ``params`` (an :class:`~repro.arch.params.ArchParams`, or None for
+    the default architecture) and ``arch`` (the variant name from an
+    ``--arch`` description, if any) record which architecture the shard
+    priced — the merge step re-derives the spec batch from the exports,
+    so shards of different arch variants cannot be silently mixed.
+    """
     return {
         "format": SHARD_FORMAT,
         "format_version": SHARD_FORMAT_VERSION,
@@ -90,6 +98,9 @@ def shard_export_document(engine, *, scale: str, seed: int,
         "scale": scale,
         "seed": seed,
         "shard": list(shard) if shard is not None else None,
+        "params": (_cache.params_token(params)
+                   if params is not None else None),
+        "arch": arch,
         "stats": engine.stats.as_dict(),
         "entries": engine.cache.snapshot(),
     }
@@ -119,6 +130,11 @@ def backend_export_document(backend, *, scale: str,
         "scale": str(scale),
         "seed": int(seed),
         "shard": None,
+        # A server's store may hold records from many jobs and arch
+        # variants; no single params record applies, so the merge step
+        # assembles with the architecture the driver asks for.
+        "params": None,
+        "arch": None,
         "entries": entries,
     }
 
@@ -167,6 +183,9 @@ def read_shard_export(path) -> Dict[str, object]:
             and all(isinstance(v, int) for v in document["shard"])):
         problem = f"shard coordinates {document.get('shard')!r} are " \
                   f"not a [K, N] pair"
+    elif document.get("params") is not None \
+            and not isinstance(document["params"], dict):
+        problem = "params is not an architecture-parameter table"
     if problem is not None:
         raise EngineError(f"{path}: malformed shard export — {problem}")
     return document
@@ -190,6 +209,20 @@ def merge_shard_documents(documents: Sequence[Dict[str, object]]
             f"shard exports disagree on (scale, seed): "
             f"{sorted(scale_seed)}"
         )
+    # Shards of two arch variants partition two *different* spec
+    # batches; a union of them is neither report.  Exports without a
+    # params record (e.g. a server-side backend export) merge as the
+    # default architecture.
+    tokens = {json.dumps(doc.get("params"), sort_keys=True)
+              for doc in documents if doc.get("params") is not None}
+    if len(tokens) > 1:
+        raise EngineError(
+            "shard exports disagree on architecture parameters — "
+            "merge one arch variant at a time"
+        )
+    params_token = (json.loads(tokens.pop()) if tokens else None)
+    arch_names = {doc.get("arch") for doc in documents
+                  if doc.get("arch") is not None}
     shards = [tuple(doc["shard"]) for doc in documents
               if doc.get("shard") is not None]
     if shards:
@@ -210,6 +243,8 @@ def merge_shard_documents(documents: Sequence[Dict[str, object]]
         entries.update(document["entries"])
     (scale, seed), = scale_seed
     return {"scale": scale, "seed": seed, "shards": shards,
+            "params": params_token,
+            "arch": arch_names.pop() if len(arch_names) == 1 else None,
             "entries": entries}
 
 

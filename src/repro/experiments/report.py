@@ -15,6 +15,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
+from repro.arch.params import ArchParams, DEFAULT_PARAMS
 from repro.engine.executor import Engine, default_engine
 from repro.experiments import (
     fig11_pe_models,
@@ -43,47 +44,59 @@ EXPERIMENT_MODULES = (
 )
 
 
-def all_specs(scale: str = "small", seed: int = 0) -> List:
-    """The union of every experiment's run specs (deduplicated in order)."""
+def all_specs(scale: str = "small", seed: int = 0,
+              params: ArchParams = DEFAULT_PARAMS) -> List:
+    """The union of every experiment's run specs (deduplicated in order).
+
+    ``params`` is the architecture every spec prices (``repro bench
+    --arch`` threads a loaded description here) — the same sweep over a
+    different ``ArchParams`` lands on disjoint fingerprints, so arch
+    variants never collide in the cache or a shard partition.
+    """
     seen = set()
     specs = []
     for module in EXPERIMENT_MODULES:
-        for spec in module.specs(scale, seed):
+        for spec in module.specs(scale, seed, params):
             if spec not in seen:
                 seen.add(spec)
                 specs.append(spec)
     return specs
 
 
-#: Experiment modules whose ``run`` is scale/seed-independent (area and
-#: analytical-scaling tables) — they are invoked with the engine alone.
-_SCALELESS_MODULES = frozenset(
-    {fig13_network_scaling, table4_area, table6_network_area}
-)
+#: Experiment modules whose ``run`` takes no scale/seed: the area tables
+#: are parameter-only, and the network-scaling figure is fully analytic.
+_PARAMS_ONLY_MODULES = frozenset({table4_area, table6_network_area})
+_ANALYTIC_MODULES = frozenset({fig13_network_scaling})
 
 
-def _run_module(module, scale: str, seed: int,
-                engine: Engine) -> ExperimentResult:
+def _run_module(module, scale: str, seed: int, engine: Engine,
+                params: ArchParams = DEFAULT_PARAMS) -> ExperimentResult:
     """One experiment's table, respecting the module's run signature."""
-    if module in _SCALELESS_MODULES:
+    if module in _PARAMS_ONLY_MODULES:
+        return module.run(params=params, engine=engine)
+    if module in _ANALYTIC_MODULES:
         return module.run(engine=engine)
-    return module.run(scale, seed, engine=engine)
+    return module.run(scale, seed, params=params, engine=engine)
 
 
 def run_all(scale: str = "small", seed: int = 0,
-            engine: Optional[Engine] = None) -> List[ExperimentResult]:
+            engine: Optional[Engine] = None,
+            params: ArchParams = DEFAULT_PARAMS
+            ) -> List[ExperimentResult]:
     """Every table and figure of the evaluation, in paper order."""
     engine = engine or default_engine()
-    engine.execute(all_specs(scale, seed))  # one batch: parallel + cached
+    # one batch: parallel + cached
+    engine.execute(all_specs(scale, seed, params))
     return [
-        _run_module(module, scale, seed, engine)
+        _run_module(module, scale, seed, engine, params)
         for module in EXPERIMENT_MODULES
     ]
 
 
 def assemble_stream(pairs: Iterable[Tuple[int, object]],
                     scale: str = "small", seed: int = 0,
-                    engine: Optional[Engine] = None
+                    engine: Optional[Engine] = None,
+                    params: ArchParams = DEFAULT_PARAMS
                     ) -> Iterator[ExperimentResult]:
     """Assemble experiments incrementally from a stream of spec landings.
 
@@ -99,8 +112,8 @@ def assemble_stream(pairs: Iterable[Tuple[int, object]],
     waits for the whole batch.
     """
     engine = engine or default_engine()
-    specs = all_specs(scale, seed)
-    needed = [set(module.specs(scale, seed))
+    specs = all_specs(scale, seed, params)
+    needed = [set(module.specs(scale, seed, params))
               for module in EXPERIMENT_MODULES]
     landed: set = set()
     position = 0
@@ -109,21 +122,22 @@ def assemble_stream(pairs: Iterable[Tuple[int, object]],
         while position < len(EXPERIMENT_MODULES) \
                 and needed[position] <= landed:
             yield _run_module(
-                EXPERIMENT_MODULES[position], scale, seed, engine
+                EXPERIMENT_MODULES[position], scale, seed, engine, params
             )
             position += 1
     # A fully-consumed stream has landed every spec; anything left (e.g.
     # an empty spec batch edge case) assembles from the engine memo.
     while position < len(EXPERIMENT_MODULES):
         yield _run_module(
-            EXPERIMENT_MODULES[position], scale, seed, engine
+            EXPERIMENT_MODULES[position], scale, seed, engine, params
         )
         position += 1
 
 
 def stream_pairs(scale: str = "small", seed: int = 0,
                  engine: Optional[Engine] = None,
-                 on_result: Optional[Callable] = None
+                 on_result: Optional[Callable] = None,
+                 params: ArchParams = DEFAULT_PARAMS
                  ) -> Iterator[Tuple[int, object]]:
     """:meth:`Engine.stream` over :func:`all_specs`, as ``(index,
     run result)`` pairs ready for :func:`assemble_stream`.
@@ -134,7 +148,7 @@ def stream_pairs(scale: str = "small", seed: int = 0,
     the pairs reproduces :func:`run_all`'s report exactly.
     """
     engine = engine or default_engine()
-    specs = all_specs(scale, seed)
+    specs = all_specs(scale, seed, params)
     for done, (index, run_result) in enumerate(engine.stream(specs), 1):
         if on_result is not None:
             on_result(done, len(specs), run_result)
@@ -165,8 +179,11 @@ def render_results(results: List[ExperimentResult], scale: str,
 
 
 def render_report(scale: str = "small", seed: int = 0,
-                  engine: Optional[Engine] = None) -> str:
-    return render_results(run_all(scale, seed, engine=engine), scale, seed)
+                  engine: Optional[Engine] = None,
+                  params: ArchParams = DEFAULT_PARAMS) -> str:
+    return render_results(
+        run_all(scale, seed, engine=engine, params=params), scale, seed
+    )
 
 
 def main() -> None:  # pragma: no cover - console entry

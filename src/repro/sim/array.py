@@ -98,7 +98,7 @@ class ArraySimulator:
         words = scratchpad_words or (params.sram_kb * 1024 // 4)
         self.scratchpad = Scratchpad(words, banks=params.sram_banks)
         self.network = ControlNetwork(
-            params.n_pes, latency=params.ctrl_net_latency
+            params.n_pes, latency=params.control_transfer_latency
         )
         steered = self._steered_pes()
         self.pes: Dict[int, MarionettePE] = {
@@ -291,7 +291,7 @@ class ArraySimulator:
         self._ctrl_queue.reset_to(
             rejected.payload for rejected in report.rejected
         )
-        arrival = cycle + self.params.ctrl_net_latency
+        arrival = cycle + self.params.control_transfer_latency
         for delivered in report.delivered:
             self._ctrl_inflight.extend(arrival, delivered.payload)
 

@@ -43,6 +43,33 @@ class TestArchParams:
         with pytest.raises(ConfigurationError):
             ArchParams(data_net_latency=-2)
 
+    @pytest.mark.parametrize("field_name, value", [
+        ("sram_banks", 0),
+        ("sram_kb", -1),
+        ("inst_scratchpad_kb", -4),
+        ("control_fifo_depth", -8),
+        ("frequency_mhz", -500),
+        ("data_width_bits", -32),
+        ("technology_nm", 0),
+    ])
+    def test_nonpositive_capacity_rejected(self, field_name, value):
+        with pytest.raises(ConfigurationError) as excinfo:
+            ArchParams(**{field_name: value})
+        assert field_name in str(excinfo.value)
+
+    def test_negative_nonlinear_pes_rejected(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            ArchParams(nonlinear_pes=-1)
+        assert "nonlinear_pes" in str(excinfo.value)
+
+    def test_zero_nonlinear_pes_allowed(self):
+        assert ArchParams(nonlinear_pes=0).nonlinear_pes == 0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            ArchParams(control_topology="torus")
+        assert "control_topology" in str(excinfo.value)
+
     def test_scaled_clamps_nonlinear(self):
         scaled = DEFAULT_PARAMS.scaled(1, 2)
         assert scaled.n_pes == 2
@@ -51,6 +78,23 @@ class TestArchParams:
     def test_frozen(self):
         with pytest.raises(AttributeError):
             DEFAULT_PARAMS.rows = 8  # type: ignore[misc]
+
+
+class TestControlTransferLatency:
+    def test_cs_benes_is_calibrated_baseline(self):
+        assert DEFAULT_PARAMS.control_topology == "cs_benes"
+        assert DEFAULT_PARAMS.control_transfer_latency \
+            == DEFAULT_PARAMS.ctrl_net_latency
+
+    def test_partial_networks_serialize_transfers(self):
+        for topology in ("cs", "benes"):
+            params = ArchParams(control_topology=topology)
+            assert params.control_transfer_latency \
+                == 2 * params.ctrl_net_latency
+
+    def test_mesh_rides_the_data_network(self):
+        params = ArchParams(control_topology="mesh")
+        assert params.control_transfer_latency == params.data_net_latency
 
 
 class TestGridEdgeCases:

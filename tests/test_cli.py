@@ -75,6 +75,35 @@ class TestCli:
                      "--format", "json", "--stats"]) == 2
         assert "phased execution would skew" in capsys.readouterr().err
 
+    def test_arch_and_arch_sweep_mutually_exclusive(self, capsys):
+        assert main(["bench", "--scale", "tiny",
+                     "--arch", "examples/arch/marionette_default.json",
+                     "--arch-sweep", "examples/arch"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_arch_flags_rejected_with_merge_shards(self, capsys):
+        # The shard exports already name the architecture they came
+        # from; an --arch flag here would be a silent no-op.
+        for arch_flag in (["--arch", "examples/arch/marionette_default.json"],
+                          ["--arch-sweep", "examples/arch"]):
+            assert main(["bench", "--merge-shards", "x.json",
+                         *arch_flag]) == 2
+            assert "no effect with --merge-shards" \
+                in capsys.readouterr().err
+
+    def test_arch_sweep_rejects_single_document_modes(self, capsys):
+        # --profile, --stats, and --export-shard each describe exactly
+        # one run/document; a sweep emits one per variant.
+        for combo, fragment in (
+                (["--profile"], "--profile times one batch run"),
+                (["--format", "json", "--stats"],
+                 "one engine's counters"),
+                (["--shard", "1/1", "--export-shard", "x.json"],
+                 "one shard export per variant")):
+            assert main(["bench", "--scale", "tiny",
+                         "--arch-sweep", "examples/arch", *combo]) == 2
+            assert fragment in capsys.readouterr().err
+
     def test_profile_out_requires_profile(self, capsys):
         assert main(["bench", "--scale", "tiny",
                      "--profile-out", "prof.json"]) == 2

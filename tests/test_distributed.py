@@ -1318,6 +1318,29 @@ class TestDispatchEndToEnd:
         assert reports[0] == local[0]
         assert reports[1] == local[1]
 
+    def test_dispatched_arch_sweep_matches_local_sweep(self, capsys,
+                                                       server):
+        # The sweep's per-variant params travel inside the dispatched
+        # spec payloads, so a fleet that knows nothing about arch files
+        # still prices every variant correctly.
+        sweep_dir = str(Path(SRC_DIR).parent / "examples" / "arch")
+        assert main(["bench", "--scale", "tiny",
+                     "--arch-sweep", sweep_dir]) == 0
+        local = capsys.readouterr().out
+        worker = threading.Thread(
+            target=work_loop, args=(server.url,),
+            kwargs={"poll": 0.05, "max_idle": 60.0},
+        )
+        worker.start()
+        try:
+            assert main(["bench", "--scale", "tiny",
+                         "--arch-sweep", sweep_dir,
+                         "--dispatch", server.url]) == 0
+            assert capsys.readouterr().out == local
+        finally:
+            CoordinatorClient(server.url).shutdown()
+            worker.join(timeout=30.0)
+
     def test_dispatch_stream_prints_progress_and_identical_report(
             self, capsys, server):
         assert main(["bench", "--scale", "tiny"]) == 0

@@ -27,6 +27,14 @@ MARIONETTE_PE = ModelSpec.make(
 BASE = RunSpec("gemm", "small", 0, MARIONETTE_PE, DEFAULT_PARAMS)
 
 
+def _perturb(field_name):
+    """A valid value for ``field_name`` that differs from the default."""
+    value = getattr(DEFAULT_PARAMS, field_name)
+    if isinstance(value, str):
+        return "mesh" if value != "mesh" else "cs_benes"
+    return value + 1
+
+
 class TestFingerprintStability:
     def test_stable_across_key_dict_ordering(self):
         key = BASE.cache_key()
@@ -99,10 +107,17 @@ class TestFingerprintSensitivity:
         [f.name for f in dataclasses.fields(ArchParams)],
     )
     def test_every_arch_param_changes_fingerprint(self, field_name):
-        value = getattr(DEFAULT_PARAMS, field_name)
-        perturbed = replace(DEFAULT_PARAMS, **{field_name: value + 1})
+        perturbed = replace(
+            DEFAULT_PARAMS, **{field_name: _perturb(field_name)})
         assert replace(BASE, params=perturbed).fingerprint() \
             != BASE.fingerprint()
+
+    def test_cache_key_covers_every_arch_param_field(self):
+        # A field missing from the params token would silently alias
+        # cache records across architecture variants.
+        token = BASE.cache_key()["params"]
+        assert set(token) == {
+            f.name for f in dataclasses.fields(ArchParams)}
 
     def test_engine_version_changes_fingerprint(self, monkeypatch):
         before = BASE.fingerprint()
