@@ -123,7 +123,8 @@ def _emit_report(results, args) -> None:
         print(report_csv(results))
 
 
-def _emit_streamed(pairs, args, params=DEFAULT_PARAMS) -> None:
+def _emit_streamed(pairs, args, params=DEFAULT_PARAMS,
+                   kernels=()) -> None:
     """Emit the report from a live stream of per-spec landings.
 
     ASCII assembles *incrementally*: each experiment's table prints the
@@ -136,7 +137,7 @@ def _emit_streamed(pairs, args, params=DEFAULT_PARAMS) -> None:
     from repro.experiments.report import assemble_stream, report_header
 
     assembled = assemble_stream(pairs, args.scale, args.seed, args.engine,
-                                params)
+                                params, kernels)
     if args.format == "ascii":
         # The exact header render_results() writes, then each table as
         # it becomes available.
@@ -185,6 +186,28 @@ def _finish_bench_run(engine, args, **context) -> None:
                 )
 
 
+def _check_arch_paths(arch, arch_sweep) -> int:
+    """Catch the two flags being fed each other's operand.
+
+    ``--arch`` takes one spec *file* and ``--arch-sweep`` a *directory*
+    of them; a swapped operand would otherwise surface as an opaque
+    read/parse failure instead of naming the sister flag.
+    """
+    from pathlib import Path
+
+    if arch and Path(arch).is_dir():
+        print(f"error: --arch expects an architecture spec file, but "
+              f"{arch} is a directory — to run every spec file in it, "
+              f"use --arch-sweep {arch}", file=sys.stderr)
+        return 2
+    if arch_sweep and Path(arch_sweep).is_file():
+        print(f"error: --arch-sweep expects a directory of spec files, "
+              f"but {arch_sweep} is a file — to price this one variant, "
+              f"use --arch {arch_sweep}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.arch.spec import load_arch, load_arch_sweep
     from repro.engine import (
@@ -197,6 +220,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.arch and args.arch_sweep:
         print("error: --arch and --arch-sweep are mutually exclusive — "
               "a sweep directory already names every variant",
+              file=sys.stderr)
+        return 2
+    code = _check_arch_paths(args.arch, args.arch_sweep)
+    if code:
+        return code
+    if args.kernels and args.merge_shards:
+        print("error: --kernels has no effect with --merge-shards — the "
+              "exports name the kernel suite they came from",
               file=sys.stderr)
         return 2
     if (args.arch or args.arch_sweep) and args.merge_shards:
@@ -291,20 +322,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     args.arch_desc = None
     args.arch_meta = None
+    args.kernel_packages = ()
+    if args.kernels:
+        from repro.kernels import load_kernel_suite
+
+        args.kernel_packages = tuple(
+            package for _path, package in load_kernel_suite(args.kernels)
+        )
 
     if args.merge_shards:
         documents = [read_shard_export(path) for path in args.merge_shards]
         merged = merge_shard_documents(documents)
         # The exports name the sweep — and the architecture — they came
-        # from; explicit --scale/--seed/--arch were rejected above.
+        # from; explicit --scale/--seed/--arch/--kernels were rejected
+        # above.  A recorded kernel suite rebuilds from its shipped
+        # documents, so the merge needs no package directories on disk.
         args.scale, args.seed = merged["scale"], merged["seed"]
         params = (ArchParams(**merged["params"])
                   if merged["params"] is not None else DEFAULT_PARAMS)
+        kernels = ()
+        if merged.get("kernels"):
+            from repro.kernels import from_document, register
+
+            kernels = tuple(
+                from_document(doc, "<merged shard export>")
+                for doc in merged["kernels"]
+            )
+            for package in kernels:
+                register(package)
         engine = Engine(cache_dir=args.cache_dir, jobs=args.jobs)
         args.engine = engine
         engine.cache.preload(merged["entries"])
         results = run_all(args.scale, args.seed, engine=engine,
-                          params=params)
+                          params=params, kernels=kernels)
         if engine.stats.traces_computed or engine.stats.simulations:
             print(
                 f"warning: shard exports were incomplete — recomputed "
@@ -372,12 +422,15 @@ def _bench_variant(args, progress, engine=None) -> int:
 
     desc = args.arch_desc
     params = desc.params if desc is not None else DEFAULT_PARAMS
+    kernels = args.kernel_packages
     context = {"arch": desc.name} if desc is not None else {}
+    if kernels:
+        context["kernels"] = len(kernels)
 
     if args.dispatch:
         # The fleet computes; _run_dispatch builds its own HTTP-backed
         # engine, so don't construct a local one just to discard it.
-        return _run_dispatch(args, progress, params, context)
+        return _run_dispatch(args, progress, params, context, kernels)
 
     if engine is None:
         engine = Engine(cache_dir=args.cache_dir, jobs=args.jobs)
@@ -385,8 +438,10 @@ def _bench_variant(args, progress, engine=None) -> int:
 
     if args.shard:
         index, count = parse_shard(args.shard)
-        specs = shard_specs(all_specs(args.scale, args.seed, params),
-                            index, count)
+        specs = shard_specs(
+            all_specs(args.scale, args.seed, params, kernels),
+            index, count,
+        )
         if args.stream:
             for done, (_i, run_result) in enumerate(
                     engine.stream(specs), 1):
@@ -401,6 +456,7 @@ def _bench_variant(args, progress, engine=None) -> int:
             shard=(index, count),
             params=params if desc is not None else None,
             arch=desc.name if desc is not None else None,
+            kernels=kernels or None,
         )
         if args.export_shard:
             write_shard_export(args.export_shard, document)
@@ -418,26 +474,27 @@ def _bench_variant(args, progress, engine=None) -> int:
         return 0
 
     if args.profile:
-        return _run_profiled(engine, args, params, context)
+        return _run_profiled(engine, args, params, context, kernels)
 
     if args.stream:
         from repro.experiments.report import stream_pairs
 
         _emit_streamed(
             stream_pairs(args.scale, args.seed, engine,
-                         on_result=progress, params=params),
-            args, params,
+                         on_result=progress, params=params,
+                         kernels=kernels),
+            args, params, kernels,
         )
     else:
         results = run_all(args.scale, args.seed, engine=engine,
-                          params=params)
+                          params=params, kernels=kernels)
         _emit_report(results, args)
     _finish_bench_run(engine, args, **context)
     return 0
 
 
 def _run_profiled(engine, args, params=DEFAULT_PARAMS,
-                  context: Dict[str, object] = {}) -> int:
+                  context: Dict[str, object] = {}, kernels=()) -> int:
     """``repro bench --profile``: the batch report with phase timings.
 
     Runs the same specs as a plain batch bench, split into timed phases
@@ -453,7 +510,7 @@ def _run_profiled(engine, args, params=DEFAULT_PARAMS,
     from repro.experiments.report import all_specs, run_all
 
     profiler = BenchProfiler(engine)
-    specs = all_specs(args.scale, args.seed, params)
+    specs = all_specs(args.scale, args.seed, params, kernels)
     profiler.run_engine_phases(specs)
     # run_all replays the now-warm memo and assembles every experiment
     # table — the report comes out of this phase, so "assemble" also
@@ -461,7 +518,7 @@ def _run_profiled(engine, args, params=DEFAULT_PARAMS,
     results = profiler.phase(
         "assemble",
         lambda: run_all(args.scale, args.seed, engine=engine,
-                        params=params),
+                        params=params, kernels=kernels),
     )
     _emit_report(results, args)
     document = profiler.document(scale=args.scale, seed=args.seed,
@@ -482,7 +539,7 @@ def _run_profiled(engine, args, params=DEFAULT_PARAMS,
 
 
 def _run_dispatch(args, progress, params=DEFAULT_PARAMS,
-                  context: Dict[str, object] = {}) -> int:
+                  context: Dict[str, object] = {}, kernels=()) -> int:
     """``repro bench --dispatch URL``: run the sweep on a worker fleet.
 
     The specs go to the coordinator as one job; workers pull them
@@ -503,7 +560,7 @@ def _run_dispatch(args, progress, params=DEFAULT_PARAMS,
     from repro.errors import DistributedError
     from repro.experiments.report import all_specs
 
-    specs = all_specs(args.scale, args.seed, params)
+    specs = all_specs(args.scale, args.seed, params, kernels)
     client = CoordinatorClient(args.dispatch)
     # Traces the assembly needs come over HTTP from the shared cache;
     # cycle results are preloaded into the memory layer as they land.
@@ -531,7 +588,7 @@ def _run_dispatch(args, progress, params=DEFAULT_PARAMS,
                 ))
             yield index, payload
 
-    _emit_streamed(landed(), args, params)
+    _emit_streamed(landed(), args, params, kernels)
     if engine.stats.traces_computed or engine.stats.simulations:
         print(
             f"warning: the dispatched working set was incomplete — "
@@ -798,6 +855,117 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.arch.params import DEFAULT_PARAMS
+    from repro.kernels import load_kernel, run_kernel
+
+    code = _check_arch_paths(args.arch, None)
+    if code:
+        return code
+    package = load_kernel(args.kernel_dir)
+    params, arch_name = DEFAULT_PARAMS, "default"
+    if args.arch:
+        from repro.arch.spec import load_arch
+
+        desc = load_arch(args.arch)
+        params, arch_name = desc.params, desc.name
+    report = run_kernel(package, params=params, arch_name=arch_name,
+                        strategy=args.strategy,
+                        max_cycles=args.max_cycles)
+    if args.format == "json":
+        print(json.dumps(report.to_document(), indent=2, sort_keys=True))
+    else:
+        for line in report.to_lines():
+            print(line)
+    return 0 if report.passed else 1
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    from repro.kernels import load_kernel_suite
+
+    if args.kernel_command == "validate":
+        entries = load_kernel_suite(args.directory)
+        for path, package in entries:
+            print(f"ok: {package.name} ({path}) "
+                  f"fingerprint {package.fingerprint()[:12]} — "
+                  f"{len(package.program)} instruction(s), "
+                  f"{len(package.arrays)} array(s)")
+        print(f"{len(entries)} valid kernel package(s) in "
+              f"{args.directory}")
+        return 0
+    return _kernel_init(args)
+
+
+def _kernel_init(args: argparse.Namespace) -> int:
+    """``repro kernel init NAME``: scaffold (or export) a package."""
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.kernels import from_document, save_kernel
+
+    out = Path(args.out or args.name)
+    if (out / "kernel.json").exists():
+        raise ConfigurationError(
+            f"{out} already holds a kernel package — refusing to "
+            f"overwrite it (pass --out for a fresh directory)"
+        )
+    if args.from_workload:
+        from repro.kernels import package_from_workload
+
+        source = package_from_workload(
+            get_workload(args.from_workload), args.scale, seed=args.seed
+        )
+        # Rename through the document form so the result is re-validated
+        # (the package name is part of the fingerprint).
+        document = source.to_document()
+        document["name"] = args.name
+        document["description"] = (
+            f"exported from built-in workload "
+            f"{args.from_workload!r} @ {args.scale} seed={args.seed}"
+        )
+        package = from_document(document, "<kernel init --from>")
+    else:
+        package = from_document(
+            _init_template(args.name), "<kernel init template>"
+        )
+    save_kernel(package, out)
+    print(f"wrote kernel package {package.name!r} to {out} "
+          f"(fingerprint {package.fingerprint()[:12]}) — check it with "
+          f"'repro kernel validate {out}', run it with 'repro run {out}'")
+    return 0
+
+
+def _init_template(name: str) -> Dict[str, object]:
+    """The scaffold package: ``y[i] = a*x[i] + y[i]`` over 16 elements."""
+    n, a = 16, 3
+    x = list(range(n))
+    y = [1] * n
+    return {
+        "schema": "repro-kernel",
+        "version": 1,
+        "name": name,
+        "description": "scaffold kernel: y[i] = a*x[i] + y[i]",
+        "scale_hint": "tiny",
+        "params": {"n": n, "a": a},
+        "loop": {"var": "i", "start": 0, "stop": "n", "step": 1},
+        "arrays": [
+            {"name": "x", "shape": [n], "dtype": "int64",
+             "role": "input"},
+            {"name": "y", "shape": [n], "dtype": "int64",
+             "role": "inout"},
+        ],
+        "program": [
+            ["t0", "load", "x", "i"],
+            ["t1", "mul", "a", "t0"],
+            ["t2", "load", "y", "i"],
+            ["t3", "add", "t1", "t2"],
+            ["", "store", "y", "i", "t3"],
+        ],
+        "memory": {"x": x, "y": y},
+        "expected": {"y": [a * xi + yi for xi, yi in zip(x, y)]},
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The complete ``repro`` argument parser.
 
@@ -861,6 +1029,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "filename order), emitting one report "
                               "section per spec file — composes with "
                               "--shard, --stream, and --dispatch")
+    p_bench.add_argument("--kernels", default=None, metavar="DIR",
+                         help="also price every external kernel package "
+                              "in DIR (one package or a directory of "
+                              "them, see docs/KERNELS.md) and append a "
+                              "'kernels' report section — composes with "
+                              "--stream, --shard, and --dispatch")
     p_bench.add_argument("--prune-to-budget", action="store_true",
                          help="after the run, prune the cache down to "
                               "the size budget instead of only warning "
@@ -984,6 +1158,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--scale", default="small",
                        choices=("tiny", "small", "paper"))
     p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_run = sub.add_parser(
+        "run", help="simulate one external kernel package cycle-accurately"
+    )
+    p_run.add_argument("kernel_dir", metavar="KERNEL_DIR",
+                       help="a kernel package directory "
+                            "(kernel.json + memory/*.csv, see "
+                            "docs/KERNELS.md)")
+    p_run.add_argument("--arch", default=None, metavar="FILE",
+                       help="price the kernel under this architecture "
+                            "description instead of the default "
+                            "parameters")
+    p_run.add_argument("--strategy", default="event",
+                       choices=("event", "naive"),
+                       help="array simulator scheduling strategy "
+                            "(both produce identical results)")
+    p_run.add_argument("--format", default="ascii",
+                       choices=("ascii", "json"))
+    p_run.add_argument("--max-cycles", type=int, default=200_000,
+                       metavar="N",
+                       help="abort a runaway kernel after N cycles")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_kernel = sub.add_parser(
+        "kernel", help="author and check external kernel packages"
+    )
+    kernel_sub = p_kernel.add_subparsers(dest="kernel_command",
+                                         required=True)
+    p_kval = kernel_sub.add_parser(
+        "validate", help="validate one package (or a directory of them)"
+    )
+    p_kval.add_argument("directory", metavar="DIR",
+                        help="a kernel package directory, or a directory "
+                             "of kernel packages")
+    p_kval.set_defaults(fn=_cmd_kernel)
+    p_kinit = kernel_sub.add_parser(
+        "init", help="scaffold a new kernel package directory"
+    )
+    p_kinit.add_argument("name", metavar="NAME",
+                         help="the kernel name (also the default output "
+                              "directory)")
+    p_kinit.add_argument("--from", dest="from_workload", default=None,
+                         metavar="WORKLOAD",
+                         help="export a built-in workload instead of "
+                              "writing the scaffold template (the "
+                              "workload must fit the single-loop "
+                              "kernel class)")
+    p_kinit.add_argument("--scale", default="tiny",
+                         choices=("tiny", "small", "paper"),
+                         help="workload scale for --from exports")
+    p_kinit.add_argument("--seed", type=int, default=0,
+                         help="input seed for --from exports")
+    p_kinit.add_argument("--out", default=None, metavar="DIR",
+                         help="write the package here instead of ./NAME")
+    p_kinit.set_defaults(fn=_cmd_kernel)
     return parser
 
 

@@ -296,7 +296,14 @@ class _BodyBuilder:
         producer = self.body.dfg.node(producer_id)
         consumer_pe = self.pe_of[consumer.node_id]
         if producer.opcode is Opcode.CONST:
-            return Operand.imm(int(producer.value))
+            # The datapath computes in floats; truncating a fractional
+            # constant (1.5 -> 1) would silently change the kernel.
+            # Integral values stay ints so existing configs are
+            # unchanged.
+            value = producer.value
+            return Operand.imm(
+                int(value) if float(value).is_integer() else float(value)
+            )
         if producer.opcode is Opcode.INPUT:
             assert producer.var is not None
             if producer.var == self.loop_var:

@@ -250,14 +250,27 @@ class Coordinator:
         rebuilds byte-identical task ids and blocking structure.
         """
         job = _Job(id=job_id, scale=str(scale), seed=int(seed))
+        # External-kernel specs ship their package document; the trace
+        # task for such a workload needs it too (the worker cannot
+        # resolve a kernel: token it has never seen).  First occurrence
+        # wins — the token embeds the content fingerprint, so every
+        # spec of one token carries the identical document.
+        kernel_docs: Dict[str, dict] = {}
+        for spec in specs:
+            document = spec.get("kernel")
+            if document is not None:
+                kernel_docs.setdefault(str(spec.get("workload")), document)
         trace_ids: Dict[Tuple[str, str, int], str] = {}
         for key in sorted({_trace_key_of(spec) for spec in specs}):
             task_id = f"{job.id}:t{len(trace_ids)}"
             workload, trace_scale, trace_seed = key
+            payload = {"kind": "trace", "workload": workload,
+                       "scale": trace_scale, "seed": trace_seed}
+            if workload in kernel_docs:
+                payload["kernel"] = kernel_docs[workload]
             job.tasks[task_id] = _Task(
                 id=task_id, kind="trace",
-                payload={"kind": "trace", "workload": workload,
-                         "scale": trace_scale, "seed": trace_seed},
+                payload=payload,
             )
             job.trace_queue.append(task_id)
             job.blocked_sims[task_id] = []

@@ -408,6 +408,17 @@ def work_loop(url: str, *, poll: float = DEFAULT_POLL,
                     continue
                 try:
                     if task["kind"] == "trace":
+                        if task.get("kernel") is not None:
+                            # External kernel: register the document the
+                            # coordinator attached so the workload token
+                            # resolves in this process.
+                            from repro.kernels.registry import (
+                                register_document,
+                            )
+
+                            register_document(
+                                task["kernel"], "<trace-task payload>"
+                            )
                         computed = engine.ensure_trace(
                             task["workload"], task["scale"], task["seed"]
                         )

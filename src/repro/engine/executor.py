@@ -120,6 +120,23 @@ _WORKER_TRACES: Dict[TraceKey, dict] = {}
 _WORKER_KERNELS: Dict[TraceKey, KernelInstance] = {}
 
 
+def _register_kernel_documents(documents) -> None:
+    """Admit external kernel documents in this (worker) process.
+
+    ``get_workload`` resolves ``kernel:`` tokens against a process-wide
+    registry; fork-started workers inherit the parent's, but spawn
+    starts clean, so every pool initializer re-registers the documents
+    its tasks will need.  No-op (and import-free) without kernels.
+    """
+    if not documents:
+        return
+    from repro.kernels.registry import register_documents
+
+    register_documents(
+        documents.values() if isinstance(documents, dict) else documents
+    )
+
+
 def _trace_job(key: TraceKey) -> Tuple[TraceKey, dict]:
     """Interpret one workload, verify it, return its trace payload."""
     short, scale, seed = key
@@ -131,10 +148,16 @@ def _trace_job(key: TraceKey) -> Tuple[TraceKey, dict]:
         raise _trace_error(key, error) from error
 
 
-def _init_sim_worker(traces: Dict[TraceKey, dict]) -> None:
+def _init_trace_worker(kernel_documents=None) -> None:
+    _register_kernel_documents(kernel_documents)
+
+
+def _init_sim_worker(traces: Dict[TraceKey, dict],
+                     kernel_documents=None) -> None:
     global _WORKER_TRACES, _WORKER_KERNELS
     _WORKER_TRACES = traces
     _WORKER_KERNELS = {}
+    _register_kernel_documents(kernel_documents)
 
 
 def _kernel_from_payload(key: TraceKey, payload: dict) -> KernelInstance:
@@ -264,13 +287,39 @@ class Engine:
             return True
         return False
 
+    @staticmethod
+    def _kernel_documents(keys) -> Dict[str, dict]:
+        """External kernel documents backing a set of trace keys/specs.
+
+        Spawn-started pool workers cannot resolve ``kernel:`` tokens
+        unless their initializer re-registers the documents; this
+        collects them (token -> canonical document) for the pool
+        ``initargs``.  Empty (without importing repro.kernels) when the
+        batch has no external kernels.
+        """
+        tokens = {
+            key[0] if isinstance(key, tuple) else key.workload
+            for key in keys
+        }
+        kernel_tokens = sorted(t for t in tokens
+                               if t.startswith("kernel:"))
+        if not kernel_tokens:
+            return {}
+        from repro.kernels.registry import document_for
+
+        return {token: document_for(token) for token in kernel_tokens}
+
     def _ensure_traces(self, keys: Set[TraceKey]) -> None:
         missing = [k for k in sorted(keys) if not self._lookup_trace(k)]
         if not missing:
             return
         if self.jobs > 1 and len(missing) > 1:
             ctx = _pool_context()
-            with ctx.Pool(min(self.jobs, len(missing))) as pool:
+            with ctx.Pool(
+                min(self.jobs, len(missing)),
+                initializer=_init_trace_worker,
+                initargs=(self._kernel_documents(missing),),
+            ) as pool:
                 computed = list(pool.imap_unordered(_trace_job, missing))
             for key, payload in computed:
                 self._store_trace(key, payload)
@@ -360,7 +409,8 @@ class Engine:
                 ctx = _pool_context()
                 with ctx.Pool(
                     workers,
-                    initializer=_init_sim_worker, initargs=(traces,),
+                    initializer=_init_sim_worker,
+                    initargs=(traces, self._kernel_documents(needed)),
                 ) as pool:
                     computed = list(pool.imap_unordered(
                         _sim_job, items, chunksize=chunk
@@ -450,7 +500,9 @@ class Engine:
                          ) -> Iterator[Tuple[int, RunResult]]:
         workers = min(self.jobs, len(pending) + len(missing))
         with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_pool_context()
+            max_workers=workers, mp_context=_pool_context(),
+            initializer=_init_trace_worker,
+            initargs=(self._kernel_documents(groups),),
         ) as pool:
             trace_futures: Dict[object, TraceKey] = {}
             sim_futures: Dict[object, List[RunSpec]] = {}

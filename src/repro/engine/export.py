@@ -81,7 +81,8 @@ def report_json(results: Sequence, *, stats: Optional[Dict[str, int]] = None,
 
 def shard_export_document(engine, *, scale: str, seed: int,
                           shard: Optional[Tuple[int, int]] = None,
-                          params=None, arch: Optional[str] = None
+                          params=None, arch: Optional[str] = None,
+                          kernels: Optional[Sequence] = None
                           ) -> Dict[str, object]:
     """One engine run's working set as a mergeable shard export.
 
@@ -90,8 +91,15 @@ def shard_export_document(engine, *, scale: str, seed: int,
     ``--arch`` description, if any) record which architecture the shard
     priced — the merge step re-derives the spec batch from the exports,
     so shards of different arch variants cannot be silently mixed.
+
+    ``kernels`` (a sequence of loaded
+    :class:`~repro.kernels.package.KernelPackage`) records which
+    external kernel suite, if any, extended the shard's spec batch —
+    as full canonical documents, so a merged export is self-contained:
+    the merge step re-registers them without the original package
+    directories on disk.
     """
-    return {
+    document = {
         "format": SHARD_FORMAT,
         "format_version": SHARD_FORMAT_VERSION,
         "engine_version": _cache.ENGINE_VERSION,
@@ -104,6 +112,10 @@ def shard_export_document(engine, *, scale: str, seed: int,
         "stats": engine.stats.as_dict(),
         "entries": engine.cache.snapshot(),
     }
+    if kernels:
+        document["kernels"] = [package.to_document()
+                               for package in kernels]
+    return document
 
 
 def backend_export_document(backend, *, scale: str,
@@ -186,6 +198,10 @@ def read_shard_export(path) -> Dict[str, object]:
     elif document.get("params") is not None \
             and not isinstance(document["params"], dict):
         problem = "params is not an architecture-parameter table"
+    elif document.get("kernels") is not None and not (
+            isinstance(document["kernels"], list)
+            and all(isinstance(k, dict) for k in document["kernels"])):
+        problem = "kernels is not a list of kernel documents"
     if problem is not None:
         raise EngineError(f"{path}: malformed shard export — {problem}")
     return document
@@ -221,6 +237,17 @@ def merge_shard_documents(documents: Sequence[Dict[str, object]]
             "merge one arch variant at a time"
         )
     params_token = (json.loads(tokens.pop()) if tokens else None)
+    # Same argument as params: shards that priced different external
+    # kernel suites partition different spec batches.  Kernel documents
+    # are canonical JSON, so agreement is a string comparison.
+    kernel_sets = {json.dumps(doc["kernels"], sort_keys=True)
+                   for doc in documents if doc.get("kernels") is not None}
+    if len(kernel_sets) > 1:
+        raise EngineError(
+            "shard exports disagree on external kernel suites — "
+            "merge one kernel suite at a time"
+        )
+    kernels = json.loads(kernel_sets.pop()) if kernel_sets else None
     arch_names = {doc.get("arch") for doc in documents
                   if doc.get("arch") is not None}
     shards = [tuple(doc["shard"]) for doc in documents
@@ -245,6 +272,7 @@ def merge_shard_documents(documents: Sequence[Dict[str, object]]
     return {"scale": scale, "seed": seed, "shards": shards,
             "params": params_token,
             "arch": arch_names.pop() if len(arch_names) == 1 else None,
+            "kernels": kernels,
             "entries": entries}
 
 

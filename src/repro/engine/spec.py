@@ -167,16 +167,45 @@ class RunSpec:
         :meth:`from_payload` rebuilds an equal spec from it, so the
         dispatching client and a worker on another machine derive
         identical fingerprints and cache addresses.
+
+        External kernels (``kernel:<name>@<fingerprint>`` workload
+        tokens) additionally carry their full package document, so the
+        receiving process can register and run a kernel it has never
+        seen on disk.  The token already carries the content
+        fingerprint, so the document does not change the cache key.
         """
-        return {
+        payload: Dict[str, object] = {
             "workload": self.workload, "scale": self.scale,
             "seed": self.seed, "model": self.model.token(),
             "params": _cache.params_token(self.params),
         }
+        if self.workload.startswith("kernel:"):
+            from repro.kernels.registry import document_for
+
+            payload["kernel"] = document_for(self.workload)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, object]) -> "RunSpec":
-        """Rebuild a spec from :meth:`to_payload` output."""
+        """Rebuild a spec from :meth:`to_payload` output.
+
+        A ``kernel`` document stanza is validated and registered
+        process-wide before the spec is constructed, and must agree
+        with the workload token — a payload claiming one kernel while
+        shipping another is refused, not silently mis-cached.
+        """
+        document = payload.get("kernel") if isinstance(payload, Mapping) \
+            else None
+        if document is not None:
+            from repro.kernels.registry import register_document
+
+            token = register_document(document, "<run-spec payload>")
+            if token != payload.get("workload"):
+                raise ConfigurationError(
+                    f"run-spec payload names workload "
+                    f"{payload.get('workload')!r} but ships the kernel "
+                    f"document of {token!r}"
+                )
         try:
             return cls(
                 workload=str(payload["workload"]),

@@ -13,7 +13,9 @@ order.
 from __future__ import annotations
 
 import sys
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Callable, Iterable, Iterator, List, Optional, Sequence, Tuple,
+)
 
 from repro.arch.params import ArchParams, DEFAULT_PARAMS
 from repro.engine.executor import Engine, default_engine
@@ -45,18 +47,31 @@ EXPERIMENT_MODULES = (
 
 
 def all_specs(scale: str = "small", seed: int = 0,
-              params: ArchParams = DEFAULT_PARAMS) -> List:
+              params: ArchParams = DEFAULT_PARAMS,
+              kernels: Sequence = ()) -> List:
     """The union of every experiment's run specs (deduplicated in order).
 
     ``params`` is the architecture every spec prices (``repro bench
     --arch`` threads a loaded description here) — the same sweep over a
     different ``ArchParams`` lands on disjoint fingerprints, so arch
     variants never collide in the cache or a shard partition.
+
+    ``kernels`` (loaded :class:`~repro.kernels.package.KernelPackage`
+    objects from ``repro bench --kernels``) appends the external-kernel
+    section's specs after the paper's figures, so kernel runs shard,
+    stream, cache, and dispatch exactly like built-in ones.
     """
     seen = set()
     specs = []
     for module in EXPERIMENT_MODULES:
         for spec in module.specs(scale, seed, params):
+            if spec not in seen:
+                seen.add(spec)
+                specs.append(spec)
+    if kernels:
+        from repro.kernels.bench import kernel_specs
+
+        for spec in kernel_specs(kernels, seed, params):
             if spec not in seen:
                 seen.add(spec)
                 specs.append(spec)
@@ -81,22 +96,34 @@ def _run_module(module, scale: str, seed: int, engine: Engine,
 
 def run_all(scale: str = "small", seed: int = 0,
             engine: Optional[Engine] = None,
-            params: ArchParams = DEFAULT_PARAMS
+            params: ArchParams = DEFAULT_PARAMS,
+            kernels: Sequence = ()
             ) -> List[ExperimentResult]:
-    """Every table and figure of the evaluation, in paper order."""
+    """Every table and figure of the evaluation, in paper order.
+
+    With ``kernels``, the external-kernel section is appended after the
+    paper's figures (same engine, same batch — its specs were priced
+    alongside everything else).
+    """
     engine = engine or default_engine()
     # one batch: parallel + cached
-    engine.execute(all_specs(scale, seed, params))
-    return [
+    engine.execute(all_specs(scale, seed, params, kernels))
+    results = [
         _run_module(module, scale, seed, engine, params)
         for module in EXPERIMENT_MODULES
     ]
+    if kernels:
+        from repro.kernels.bench import run_section
+
+        results.append(run_section(kernels, seed, params, engine=engine))
+    return results
 
 
 def assemble_stream(pairs: Iterable[Tuple[int, object]],
                     scale: str = "small", seed: int = 0,
                     engine: Optional[Engine] = None,
-                    params: ArchParams = DEFAULT_PARAMS
+                    params: ArchParams = DEFAULT_PARAMS,
+                    kernels: Sequence = ()
                     ) -> Iterator[ExperimentResult]:
     """Assemble experiments incrementally from a stream of spec landings.
 
@@ -112,32 +139,42 @@ def assemble_stream(pairs: Iterable[Tuple[int, object]],
     waits for the whole batch.
     """
     engine = engine or default_engine()
-    specs = all_specs(scale, seed, params)
-    needed = [set(module.specs(scale, seed, params))
-              for module in EXPERIMENT_MODULES]
+    specs = all_specs(scale, seed, params, kernels)
+    # (needed spec set, assembly thunk) per report section, in report
+    # order: paper experiments first, then the external-kernel section.
+    sections: List[Tuple[set, Callable[[], ExperimentResult]]] = [
+        (set(module.specs(scale, seed, params)),
+         lambda module=module: _run_module(
+             module, scale, seed, engine, params))
+        for module in EXPERIMENT_MODULES
+    ]
+    if kernels:
+        from repro.kernels.bench import kernel_specs, run_section
+
+        sections.append((
+            set(kernel_specs(kernels, seed, params)),
+            lambda: run_section(kernels, seed, params, engine=engine),
+        ))
     landed: set = set()
     position = 0
     for index, _result in pairs:
         landed.add(specs[index])
-        while position < len(EXPERIMENT_MODULES) \
-                and needed[position] <= landed:
-            yield _run_module(
-                EXPERIMENT_MODULES[position], scale, seed, engine, params
-            )
+        while position < len(sections) \
+                and sections[position][0] <= landed:
+            yield sections[position][1]()
             position += 1
     # A fully-consumed stream has landed every spec; anything left (e.g.
     # an empty spec batch edge case) assembles from the engine memo.
-    while position < len(EXPERIMENT_MODULES):
-        yield _run_module(
-            EXPERIMENT_MODULES[position], scale, seed, engine, params
-        )
+    while position < len(sections):
+        yield sections[position][1]()
         position += 1
 
 
 def stream_pairs(scale: str = "small", seed: int = 0,
                  engine: Optional[Engine] = None,
                  on_result: Optional[Callable] = None,
-                 params: ArchParams = DEFAULT_PARAMS
+                 params: ArchParams = DEFAULT_PARAMS,
+                 kernels: Sequence = ()
                  ) -> Iterator[Tuple[int, object]]:
     """:meth:`Engine.stream` over :func:`all_specs`, as ``(index,
     run result)`` pairs ready for :func:`assemble_stream`.
@@ -148,7 +185,7 @@ def stream_pairs(scale: str = "small", seed: int = 0,
     the pairs reproduces :func:`run_all`'s report exactly.
     """
     engine = engine or default_engine()
-    specs = all_specs(scale, seed, params)
+    specs = all_specs(scale, seed, params, kernels)
     for done, (index, run_result) in enumerate(engine.stream(specs), 1):
         if on_result is not None:
             on_result(done, len(specs), run_result)

@@ -1,0 +1,255 @@
+"""Export a built-in workload as an on-disk kernel package.
+
+``repro kernel init --from WORKLOAD`` and the committed
+``examples/kernels/`` suite use this to turn one of the registry
+workloads into the external format: the single-loop CDFG is decompiled
+back into the package's three-address instruction rows, the instance's
+concrete memory images and reference outputs become the ``memory/`` and
+``expected/`` region files, and the result is re-validated end to end
+(re-ingested, re-interpreted, compared against the original reference)
+before anything is written.
+
+Only the compilable kernel class is exportable — exactly the class
+:func:`repro.compiler.config_gen.generate_program` accepts (one counted
+loop, single body block).  Workloads outside it get a one-line
+:class:`~repro.errors.ConfigurationError` naming the structural reason,
+mirroring the config generator's own diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.compiler.config_gen import _match_structure
+from repro.errors import CompilationError, ConfigurationError
+from repro.ir.dfg import Node, NodeId
+from repro.ir.interp import Interpreter
+from repro.ir.ops import Opcode
+from repro.kernels.package import (
+    BINARY_OPS,
+    DTYPES,
+    ArrayDecl,
+    KernelPackage,
+    LoopBinding,
+    TERNARY_OPS,
+    UNARY_OPS,
+    from_document,
+)
+from repro.workloads.base import Workload, outputs_match
+
+_ROW_OPS = (set(BINARY_OPS) | set(UNARY_OPS) | set(TERNARY_OPS)
+            | {"load", "store"})
+
+
+def _fail(workload: Workload, message: str) -> ConfigurationError:
+    return ConfigurationError(
+        f"workload {workload.name!r} is outside the exportable kernel "
+        f"class: {message}"
+    )
+
+
+def _literal(value: object) -> str:
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def _scalar_binding(workload: Workload, node: Node,
+                    params: Dict[str, int], what: str) -> object:
+    """A loop bound as the manifest encodes it: int or parameter name."""
+    if node.opcode is Opcode.CONST:
+        return int(node.value)
+    if node.opcode is Opcode.INPUT and node.var in params:
+        return node.var
+    raise _fail(workload,
+                f"loop {what} must be a constant or parameter, got "
+                f"{node.opcode.value}")
+
+
+def _dtype_of(workload: Workload, name: str,
+              values: np.ndarray) -> str:
+    dtype = str(np.asarray(values).dtype)
+    if dtype not in DTYPES:
+        raise _fail(workload,
+                    f"array {name!r} has dtype {dtype}, not one of "
+                    f"{sorted(DTYPES)}")
+    return dtype
+
+
+def package_from_workload(workload: Workload, scale: str = "tiny",
+                          seed: int = 0) -> KernelPackage:
+    """One workload instance as a validated kernel package."""
+    instance = workload.instance(scale, seed=seed)
+    cdfg = instance.cdfg
+    try:
+        entry_blk, header, body, _after = _match_structure(cdfg)
+    except CompilationError as error:
+        raise _fail(workload, str(error)) from error
+    loop_var = header.loop_var
+    if loop_var is None:
+        raise _fail(workload, "loop header lost its variable")
+    params = {name: int(value) for name, value in instance.params.items()}
+
+    # -- loop binding --------------------------------------------------
+    start_node = entry_blk.dfg.node(entry_blk.outputs[loop_var])
+    cond = header.dfg.node(header.terminator.cond)
+    if cond.opcode is not Opcode.LT:
+        raise _fail(workload,
+                    f"loop condition must be '<', got {cond.opcode.value}")
+    stop_node = header.dfg.node(cond.operands[1])
+    increment = body.dfg.node(body.outputs[loop_var])
+    if increment.opcode is not Opcode.ADD:
+        raise _fail(workload, "loop increment is not an addition")
+    step_node = body.dfg.node(increment.operands[1])
+    if step_node.opcode is not Opcode.CONST:
+        raise _fail(workload, "loop step is not a constant")
+    loop = LoopBinding(
+        var=loop_var,
+        start=_scalar_binding(workload, start_node, params, "start"),
+        stop=_scalar_binding(workload, stop_node, params, "stop"),
+        step=int(step_node.value),
+    )
+
+    # -- loop-carried state (entry-block constant initializers) --------
+    state: Dict[str, float] = {}
+    for var, node_id in entry_blk.outputs.items():
+        if var == loop_var:
+            continue
+        node = entry_blk.dfg.node(node_id)
+        if node.opcode is not Opcode.CONST:
+            raise _fail(workload,
+                        f"state variable {var!r} has a non-constant "
+                        f"initializer ({node.opcode.value})")
+        state[var] = float(node.value)
+    state_of: Dict[NodeId, str] = {}
+    for var, node_id in body.outputs.items():
+        if var == loop_var:
+            continue
+        if var not in state:
+            raise _fail(workload,
+                        f"loop body defines {var!r} without an entry "
+                        f"initializer")
+        if node_id in state_of:
+            raise _fail(workload,
+                        f"one value updates both state variables "
+                        f"{state_of[node_id]!r} and {var!r}")
+        state_of[node_id] = var
+
+    # -- instruction rows (live body nodes, in dataflow order) ---------
+    # Required: stores and state updates, plus everything feeding them.
+    # The loop increment is *not* required — the package's loop
+    # construct re-creates it, and exporting it would double-step.
+    required: set = set()
+    worklist = [node.node_id for node in body.dfg.nodes
+                if node.opcode is Opcode.STORE]
+    worklist.extend(state_of)
+    while worklist:
+        node_id = worklist.pop()
+        if node_id in required:
+            continue
+        required.add(node_id)
+        worklist.extend(body.dfg.node(node_id).operands)
+
+    names: Dict[NodeId, str] = {}
+    temps = 0
+
+    def operand_text(node_id: NodeId) -> str:
+        node = body.dfg.node(node_id)
+        if node.opcode is Opcode.CONST:
+            return _literal(node.value)
+        if node.opcode is Opcode.INPUT:
+            var = node.var or ""
+            if var == loop_var or var in params or var in state:
+                return var
+            raise _fail(workload,
+                        f"loop body reads {var!r}, which is not the "
+                        f"loop variable, a parameter, or state")
+        if node_id not in names:
+            raise _fail(workload,
+                        f"value flows outside dataflow order "
+                        f"(node {node_id})")
+        return names[node_id]
+
+    rows: List[Tuple[str, ...]] = []
+    for node in body.dfg.nodes:
+        if node.node_id not in required:
+            continue
+        if node.opcode in (Opcode.CONST, Opcode.INPUT):
+            continue
+        op = node.opcode.value
+        if op not in _ROW_OPS:
+            raise _fail(workload, f"op {op!r} has no package encoding")
+        if node.opcode is Opcode.STORE:
+            rows.append(("", "store", node.array,
+                         operand_text(node.operands[0]),
+                         operand_text(node.operands[1])))
+            continue
+        args = tuple(operand_text(operand) for operand in node.operands)
+        if node.node_id in state_of:
+            dest = state_of[node.node_id]
+        else:
+            dest = f"t{temps}"
+            temps += 1
+        names[node.node_id] = dest
+        if node.opcode is Opcode.LOAD:
+            rows.append((dest, "load", node.array, args[0]))
+        else:
+            rows.append((dest, op, *args))
+
+    # -- arrays, roles, images -----------------------------------------
+    loaded = {node.array for node in body.dfg.nodes
+              if node.opcode is Opcode.LOAD}
+    stored = {node.array for node in body.dfg.nodes
+              if node.opcode is Opcode.STORE and node.node_id in required}
+    for name in instance.expected:
+        if name not in stored:
+            raise _fail(workload,
+                        f"expected output {name!r} is never stored in "
+                        f"the loop body")
+    arrays = []
+    for name in cdfg.arrays:
+        values = np.asarray(instance.memory[name])
+        if name in stored:
+            role = "inout" if name in loaded else "output"
+        elif name in loaded:
+            role = "input"
+        else:
+            role = "scratch"
+        arrays.append(ArrayDecl(
+            name=name, shape=(len(values),),
+            dtype=_dtype_of(workload, name, values), role=role,
+        ))
+
+    package = KernelPackage(
+        name=workload.name,
+        loop=loop,
+        arrays=tuple(arrays),
+        program=tuple(rows),
+        params=params,
+        state=state,
+        memory={name: np.asarray(values).copy()
+                for name, values in instance.memory.items()},
+        expected={name: np.asarray(values).copy()
+                  for name, values in instance.expected.items()},
+        atol=float(workload.atol),
+        description=(f"exported from the {workload.name!r} workload "
+                     f"at scale {scale!r}, seed {seed}"),
+        scale_hint=scale,
+    )
+    # Round the export through full schema validation, then prove the
+    # decompiled program still computes the original reference.
+    package = from_document(package.to_document(),
+                            f"<export of {workload.name!r}>")
+    result = Interpreter(package.build_cdfg()).run(
+        {name: values.copy() for name, values in package.memory.items()},
+        dict(package.params),
+    )
+    for name, expected in instance.expected.items():
+        if not outputs_match(result.array(name), expected, package.atol):
+            raise _fail(workload,
+                        f"exported program diverges from the reference "
+                        f"on output {name!r}")
+    return package

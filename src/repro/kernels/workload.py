@@ -1,0 +1,72 @@
+"""The workload adapter: a kernel package as a first-class Workload.
+
+:class:`KernelWorkload` plugs an ingested package into the exact
+framework the 13 built-in benchmarks use — ``instance()`` returns a
+real :class:`~repro.workloads.base.WorkloadInstance` (CDFG + memory +
+params + expected outputs), so the engine's trace computation,
+reference checking, caching, and every execution model see nothing
+unusual.  Two deliberate differences from the built-ins:
+
+* inputs are the package's committed memory images, not seeded random
+  draws — ``scale`` and ``seed`` do not change an external kernel's
+  data (the content fingerprint already pins it);
+* when the package declares no expected outputs, the reference is
+  computed by the functional interpreter, making the instance
+  self-consistent (the simulators are still meaningfully verified
+  against it — they share none of the interpreter's machinery).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.cdfg import CDFG
+from repro.ir.interp import Interpreter
+from repro.kernels.package import KernelPackage
+from repro.workloads.base import EXTERNAL, Workload
+
+
+class KernelWorkload(Workload):
+    """One external kernel package behind the Workload interface."""
+
+    group = EXTERNAL
+
+    def __init__(self, package: KernelPackage) -> None:
+        self.package = package
+        # The token (name@fingerprint) is the registry short name, so
+        # RunSpec.workload — and through it every cache key, shard
+        # coordinate, and wire payload — carries the content identity.
+        self.short = package.workload_token()
+        self.name = package.name
+        self.paper_size = package.scale_hint
+        self.atol = package.atol
+
+    def sizes(self, scale: str) -> Dict[str, int]:
+        # Package data is fixed; every scale maps to the same kernel.
+        return {}
+
+    def build(self, sizes: Mapping[str, int]) -> CDFG:
+        return self.package.build_cdfg()
+
+    def inputs(self, sizes: Mapping[str, int],
+               rng: np.random.Generator
+               ) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        memory = {name: values.copy()
+                  for name, values in self.package.memory.items()}
+        return memory, dict(self.package.params)
+
+    def reference(self, sizes: Mapping[str, int],
+                  memory: Mapping[str, np.ndarray],
+                  params: Mapping[str, int]) -> Dict[str, np.ndarray]:
+        if self.package.expected:
+            return {name: values.copy()
+                    for name, values in self.package.expected.items()}
+        result = Interpreter(self.build(sizes)).run(
+            {name: np.asarray(values).copy()
+             for name, values in memory.items()},
+            dict(params),
+        )
+        return {decl.name: result.array(decl.name).copy()
+                for decl in self.package.output_arrays}

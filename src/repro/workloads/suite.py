@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError
 from repro.workloads.base import INTENSIVE, NON_INTENSIVE, Workload
 from repro.workloads.merge_sort import MergeSort
 from repro.workloads.fft import Fft
@@ -52,10 +52,25 @@ for _w in ALL_WORKLOADS:
 
 
 def get_workload(name: str) -> Workload:
-    """Look a workload up by full name or figure abbreviation."""
+    """Look a workload up by full name or figure abbreviation.
+
+    ``kernel:<name>@<fingerprint>`` tokens resolve to external kernel
+    packages registered in this process (see :mod:`repro.kernels`) —
+    the one extension point the engine needs to run user-supplied
+    kernels through every cache/shard/dispatch path unchanged.
+
+    Raises :class:`~repro.errors.ConfigurationError` naming every
+    available workload when the lookup fails.
+    """
+    if name.startswith("kernel:"):
+        # Lazy import: repro.kernels builds CDFGs through the same
+        # workload framework this module anchors.
+        from repro.kernels.registry import resolve_workload
+
+        return resolve_workload(name)
     key = name.lower()
     if key not in _BY_NAME:
-        raise ReproError(
+        raise ConfigurationError(
             f"unknown workload {name!r}; known: "
             f"{sorted(w.name for w in ALL_WORKLOADS)}"
         )

@@ -138,3 +138,121 @@ class TestCli:
         # not tracebacks (same contract as the argparse-level errors).
         assert main(["simulate", "nonexistent"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_arch_path_diagnostics_name_the_sister_flag(self, capsys):
+        # A directory fed to --arch (or a file to --arch-sweep) is a
+        # swapped operand, not a parse failure: exit 2, one line, and the
+        # message names the flag the user actually wanted.
+        assert main(["bench", "--scale", "tiny",
+                     "--arch", "examples/arch"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "use --arch-sweep examples/arch" in err
+        assert main([
+            "bench", "--scale", "tiny",
+            "--arch-sweep", "examples/arch/marionette_default.json",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "use --arch examples/arch/marionette_default.json" in err
+
+    def test_run_arch_gets_the_same_path_diagnostic(self, capsys):
+        assert main(["run", "examples/kernels/saxpy",
+                     "--arch", "examples/arch"]) == 2
+        assert "use --arch-sweep examples/arch" \
+            in capsys.readouterr().err
+
+    def test_kernels_rejected_with_merge_shards(self, capsys):
+        assert main(["bench", "--merge-shards", "x.json",
+                     "--kernels", "examples/kernels"]) == 2
+        assert "--kernels has no effect with --merge-shards" \
+            in capsys.readouterr().err
+
+
+class TestKernelCli:
+    """Exit-code contracts for ``repro run`` and ``repro kernel``."""
+
+    def test_validate_examples_suite_exits_zero(self, capsys):
+        assert main(["kernel", "validate", "examples/kernels"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok: ") == 4
+        assert "valid kernel package(s)" in out
+
+    def test_validate_invalid_package_is_one_line_exit_two(
+            self, tmp_path, capsys):
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "kernel.json").write_text("{not json", encoding="utf-8")
+        assert main(["kernel", "validate", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_validate_missing_directory_exits_two(self, tmp_path, capsys):
+        assert main(["kernel", "validate",
+                     str(tmp_path / "nowhere")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_run_shipped_example_passes(self, capsys):
+        assert main(["run", "examples/kernels/saxpy"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out and "verdict: PASS" in out
+
+    def test_run_json_document_carries_the_verdict(self, capsys):
+        assert main(["run", "examples/kernels/dot_product",
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["verdict"] == "PASS"
+        assert document["cycles"] > 0
+        assert len(document["fingerprint"]) == 64
+
+    def test_run_failing_package_exits_one(self, tmp_path, capsys):
+        # Scaffold a known-good package, then corrupt one expected cell:
+        # the run itself succeeds but the verdict is FAIL -> exit 1
+        # (distinct from exit 2, which means the package never ran).
+        out = tmp_path / "probe"
+        assert main(["kernel", "init", "probe", "--out", str(out)]) == 0
+        capsys.readouterr()
+        expected = out / "expected" / "y.csv"
+        lines = expected.read_text(encoding="utf-8").splitlines()
+        lines[-1] = str(int(lines[-1]) + 1)
+        expected.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["run", str(out)]) == 1
+        assert "verdict: FAIL" in capsys.readouterr().out
+
+    def test_run_missing_directory_exits_two(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nowhere")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_init_scaffold_validates_and_refuses_overwrite(
+            self, tmp_path, capsys):
+        out = tmp_path / "fresh"
+        assert main(["kernel", "init", "fresh", "--out", str(out)]) == 0
+        assert "wrote kernel package 'fresh'" in capsys.readouterr().out
+        assert main(["kernel", "validate", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["kernel", "init", "fresh", "--out", str(out)]) == 2
+        assert "refusing to overwrite" in capsys.readouterr().err
+
+    def test_init_from_workload_runs_and_passes(self, tmp_path, capsys):
+        out = tmp_path / "sig"
+        assert main(["kernel", "init", "sig", "--from", "sigmoid",
+                     "--scale", "tiny", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["run", str(out)]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_bench_kernels_section_appears(self, capsys):
+        assert main(["bench", "--scale", "tiny", "--format", "json",
+                     "--kernels", "examples/kernels"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["experiments"]) == 10
+        titles = [entry["title"] for entry in document["experiments"]]
+        assert any("kernel" in title.lower() for title in titles)
+
+    def test_bench_kernels_stream_is_byte_identical(self, capsys):
+        argv = ["bench", "--scale", "tiny",
+                "--kernels", "examples/kernels"]
+        assert main(argv) == 0
+        batch = capsys.readouterr().out
+        assert main([*argv, "--stream"]) == 0
+        assert capsys.readouterr().out == batch
