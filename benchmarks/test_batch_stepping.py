@@ -1,0 +1,129 @@
+"""Batch stepping benchmark lane.
+
+The batch simulator's reason to exist is throughput on sweeps: N runs
+of the same program advanced in lockstep must beat N sequential
+event-driven runs by a real margin *while staying bit-identical* (the
+differential wall in ``tests/test_sim_event.py`` / ``test_sim_batch.py``
+is the correctness gate; this lane is the performance gate).  Second,
+``repro bench --profile`` must price grouped simulation as its own
+``simulate:batch`` phase in a schema-valid ``BENCH_*.json`` record
+whose report output stays byte-identical to an unprofiled run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.arch.params import ArchParams
+from repro.engine import BENCH_PROFILE_SCHEMA
+from repro.sim.array import ArraySimulator
+from repro.sim.batch import BatchRun, simulate_batch
+
+from test_event_stepping import _sparse_program
+
+#: Margin lockstep batching must clear over sequential event stepping
+#: on an 8-run sweep: the leader pays the full event schedule once and
+#: the seven followers replay only the data plane, so parity would mean
+#: the replay is doing schedule work per member; 2.0x keeps CI
+#: noise-proof (the observed factor on an unloaded host is ~2.9x).
+SPEEDUP_FLOOR = 2.0
+
+#: Sweep width of the perf gate (the paper's seed-sweep shape).
+N_RUNS = 8
+
+
+def _member_arrays(n):
+    """Seed-varied input images: same program, different data per run."""
+    members = []
+    for seed in range(N_RUNS):
+        rng = np.random.default_rng(seed)
+        members.append({
+            "A": rng.integers(1, 100, n),
+            "B": rng.integers(1, 100, n),
+        })
+    return members
+
+
+def _event_run(params, program, arrays):
+    sim = ArraySimulator(params, program, strategy="event")
+    for name, values in arrays.items():
+        sim.load_array(name, values)
+    return sim.run(halt_messages=999)
+
+
+def test_batch_stepper_beats_sequential_event_on_sparse_sweep(scale):
+    params = replace(ArchParams().scaled(8, 8), data_net_latency=30)
+    n = 96
+    program = _sparse_program(params, n)
+    members = _member_arrays(n)
+    reps = 3
+
+    start = time.perf_counter()
+    for _ in range(reps):
+        event_results = [_event_run(params, program, arrays)
+                         for arrays in members]
+    event_seconds = (time.perf_counter() - start) / reps
+
+    start = time.perf_counter()
+    for _ in range(reps):
+        batch_results = simulate_batch(
+            params, program,
+            [BatchRun(arrays=arrays) for arrays in members],
+            halt_messages=999,
+        )
+    batch_seconds = (time.perf_counter() - start) / reps
+
+    # Identical numbers first — a fast wrong simulator is worthless.
+    for event, batch in zip(event_results, batch_results):
+        assert batch.cycles == event.cycles
+        assert batch.stats == event.stats
+        assert batch.scratchpad.data == event.scratchpad.data
+        assert batch.scratchpad.bank_conflicts == \
+            event.scratchpad.bank_conflicts
+
+    speedup = event_seconds / batch_seconds
+    print(f"\nsparse-control 8x8, n={n}, mesh=30c, {N_RUNS} runs: "
+          f"event {event_seconds * 1000:.1f} ms, "
+          f"batch {batch_seconds * 1000:.1f} ms "
+          f"({speedup:.2f}x, {event_results[0].cycles} cycles/run)")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch stepper only {speedup:.2f}x over sequential event "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_bench_profile_prices_grouped_simulation(tmp_path, capsys):
+    from repro.cli import main
+
+    profile_path = tmp_path / "bench_profile.json"
+    code = main([
+        "bench", "--scale", "tiny",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--profile", "--profile-out", str(profile_path),
+    ])
+    assert code == 0
+    profiled_report = capsys.readouterr().out
+
+    document = json.loads(profile_path.read_text(encoding="utf-8"))
+    assert document["schema"] == BENCH_PROFILE_SCHEMA
+    phases = document["phases"]
+    names = [phase["phase"] for phase in phases]
+
+    # The bench sweep runs every model against each workload at one
+    # geometry, so multi-member batches exist and are priced as the
+    # dedicated phase.
+    assert "simulate:batch" in names
+    batch_phase, = [p for p in phases if p["phase"] == "simulate:batch"]
+    assert batch_phase["seconds"] >= 0
+    assert isinstance(batch_phase["stats_delta"], dict)
+    assert batch_phase["stats_delta"].get("simulations", 0) > 0
+
+    # The profile is a side artifact: stdout stays byte-identical.
+    code = main(["bench", "--scale", "tiny",
+                 "--cache-dir", str(tmp_path / "cache2")])
+    assert code == 0
+    assert capsys.readouterr().out == profiled_report

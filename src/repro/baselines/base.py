@@ -253,6 +253,22 @@ class KernelInstance:
                 return True
         return False
 
+    def share_placements(self, pool: Dict[Tuple[BlockId, int, int],
+                                          int]) -> None:
+        """Adopt a placement memo shared across batch-compatible kernels.
+
+        Placement quality depends only on a block's DFG and the grid
+        geometry — exactly the ``(block, rows, cols)`` key below — so
+        every :class:`KernelInstance` built from the same (workload,
+        scale) CDFG may share one memo: a seed sweep prices its
+        placements once instead of once per seed (the engine's batch
+        grouping law, :mod:`repro.engine.batching`).  Entries computed
+        before adoption are folded into the pool.
+        """
+        if self._placement_ii:
+            pool.update(self._placement_ii)
+        self._placement_ii = pool
+
     def placement_ii(self, block_id: BlockId, params: ArchParams) -> int:
         """II one block's DFG sustains when spatially mapped on the grid
         (FU sharing + mesh congestion), shared by every execution model so

@@ -1171,9 +1171,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "description instead of the default "
                             "parameters")
     p_run.add_argument("--strategy", default="event",
-                       choices=("event", "naive"),
+                       choices=("event", "naive", "batch"),
                        help="array simulator scheduling strategy "
-                            "(both produce identical results)")
+                            "(all produce identical results; batch "
+                            "degenerates to the event schedule for a "
+                            "single run)")
     p_run.add_argument("--format", default="ascii",
                        choices=("ascii", "json"))
     p_run.add_argument("--max-cycles", type=int, default=200_000,

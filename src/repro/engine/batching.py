@@ -1,0 +1,68 @@
+"""The grouping law for batch execution of compatible RunSpecs.
+
+Two specs may share batched work only when they evaluate the *same
+program on the same geometry*: the workload and scale pin the CDFG (and
+therefore every block's structure), and ``rows``/``cols`` pin the grid
+the compiler places onto.  Everything else — seed, latency parameters,
+model — may differ inside a batch: seeds change data, not structure, and
+the spatial placement analysis (``KernelInstance.placement_ii``) is
+already keyed by ``(block, rows, cols)`` alone, so members of one batch
+can legally share a placement memo.  A mixed-arch sweep therefore
+splits exactly at geometry boundaries and nowhere else.
+
+The engine applies the law in :meth:`Engine.execute` (batch members are
+simulated adjacently, feeding one shared placement pool per
+``(workload, scale)``), in the worker pool (specs are chunked so a
+batch lands on one worker), and in ``BenchProfiler`` (grouped specs are
+timed as the ``simulate:batch`` phase).  Per-spec results, cache
+records, and stats stay byte-identical to ungrouped execution —
+``tests/test_sim_batch.py`` locks that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.engine.spec import RunSpec
+
+#: (workload, scale, rows, cols) — the identity under which specs batch.
+BatchKey = Tuple[str, str, int, int]
+
+
+def batch_key(spec: RunSpec) -> BatchKey:
+    """The grouping coordinate of one spec: program + geometry."""
+    return (spec.workload, spec.scale,
+            spec.params.rows, spec.params.cols)
+
+
+@dataclass
+class SpecBatch:
+    """One group of batch-compatible specs (original order preserved)."""
+
+    key: BatchKey
+    indices: List[int] = field(default_factory=list)
+    specs: List[RunSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def group_specs(specs: Sequence[RunSpec]) -> List[SpecBatch]:
+    """Partition ``specs`` into batches under the grouping law.
+
+    Batches appear in first-member order and members keep their input
+    order, so iterating batches then members is a deterministic
+    permutation of the input — every spec lands in exactly one batch.
+    """
+    batches: Dict[BatchKey, SpecBatch] = {}
+    ordered: List[SpecBatch] = []
+    for index, spec in enumerate(specs):
+        key = batch_key(spec)
+        batch = batches.get(key)
+        if batch is None:
+            batch = batches[key] = SpecBatch(key)
+            ordered.append(batch)
+        batch.indices.append(index)
+        batch.specs.append(spec)
+    return ordered

@@ -46,6 +46,7 @@ from typing import (
 )
 
 from repro.baselines.base import CycleResult, KernelInstance
+from repro.engine.batching import batch_key, group_specs
 from repro.engine.cache import TraceCache
 from repro.engine.spec import (
     ModelSpec,
@@ -118,6 +119,10 @@ class EngineStats:
 # ----------------------------------------------------------------------
 _WORKER_TRACES: Dict[TraceKey, dict] = {}
 _WORKER_KERNELS: Dict[TraceKey, KernelInstance] = {}
+#: (workload, scale) -> shared placement memo (the batching law: the
+#: CDFG and therefore every block's placement is seed-independent, so
+#: one worker prices a whole seed sweep against one set of placements).
+_WORKER_PLACEMENTS: Dict[Tuple[str, str], Dict] = {}
 
 
 def _register_kernel_documents(documents) -> None:
@@ -154,9 +159,10 @@ def _init_trace_worker(kernel_documents=None) -> None:
 
 def _init_sim_worker(traces: Dict[TraceKey, dict],
                      kernel_documents=None) -> None:
-    global _WORKER_TRACES, _WORKER_KERNELS
+    global _WORKER_TRACES, _WORKER_KERNELS, _WORKER_PLACEMENTS
     _WORKER_TRACES = traces
     _WORKER_KERNELS = {}
+    _WORKER_PLACEMENTS = {}
     _register_kernel_documents(kernel_documents)
 
 
@@ -164,7 +170,11 @@ def _kernel_from_payload(key: TraceKey, payload: dict) -> KernelInstance:
     short, scale, _seed = key
     workload = get_workload(short)
     cdfg = workload.build(workload.sizes(scale))
-    return KernelInstance(cdfg, DynamicTrace.from_payload(payload))
+    kernel = KernelInstance(cdfg, DynamicTrace.from_payload(payload))
+    kernel.share_placements(
+        _WORKER_PLACEMENTS.setdefault((short, scale), {})
+    )
+    return kernel
 
 
 def _simulate_with_memo(spec: RunSpec, trace_payload: dict) -> dict:
@@ -246,8 +256,12 @@ class Engine:
     """
 
     def __init__(self, cache_dir=None, jobs: int = 1,
-                 backend=None) -> None:
+                 backend=None, grouping: bool = True) -> None:
         self.jobs = max(1, int(jobs))
+        #: apply the batch grouping law (repro.engine.batching) when
+        #: executing; off exists for differential testing only — both
+        #: settings produce byte-identical results and records.
+        self.grouping = bool(grouping)
         self.cache = TraceCache(cache_dir, backend=backend)
         self.stats = EngineStats()
         self._trace_payloads: Dict[TraceKey, dict] = {}
@@ -255,6 +269,9 @@ class Engine:
         self._kernels: Dict[TraceKey, KernelInstance] = {}
         self._kernel_runs: Dict[TraceKey, KernelRun] = {}
         self._cycles: Dict[RunSpec, CycleResult] = {}
+        #: (workload, scale) -> placement memo shared across the batch
+        #: (every seed / latency variant of one program + geometry).
+        self._placement_pools: Dict[Tuple[str, str], Dict] = {}
 
     # -- traces ----------------------------------------------------------
     def _compute_trace(self, key: TraceKey) -> None:
@@ -338,9 +355,15 @@ class Engine:
                 short, scale, _seed = key
                 workload = get_workload(short)
                 cdfg = workload.build(workload.sizes(scale))
-            self._kernels[key] = KernelInstance(
+            kernel = KernelInstance(
                 cdfg, DynamicTrace.from_payload(payload)
             )
+            if self.grouping:
+                short, scale, _seed = key
+                kernel.share_placements(
+                    self._placement_pools.setdefault((short, scale), {})
+                )
+            self._kernels[key] = kernel
         return self._kernels[key]
 
     def kernel_run(self, workload: Workload, scale: str = "small",
@@ -395,14 +418,27 @@ class Engine:
 
         if pending:
             order = list(pending)
+            if self.grouping:
+                # Batch-compatible specs (same program + geometry, see
+                # repro.engine.batching) run adjacently so they feed one
+                # shared placement pool / kernel memo back to back.
+                order = [
+                    spec for batch in group_specs(order)
+                    for spec in batch.specs
+                ]
             self._ensure_traces({spec.trace_key() for spec in order})
             if self.jobs > 1 and len(order) > 1:
                 needed = {spec.trace_key() for spec in order}
                 traces = {k: self._trace_payloads[k] for k in needed}
                 # Group a kernel's specs into one chunk so each worker
-                # builds (and analyses) as few kernel instances as possible.
+                # builds (and analyses) as few kernel instances as
+                # possible — and, under the grouping law, so a batch's
+                # members land on one worker's shared placement pool.
                 items = sorted(
-                    enumerate(order), key=lambda item: item[1].trace_key()
+                    enumerate(order),
+                    key=lambda item: (batch_key(item[1]),
+                                      item[1].trace_key())
+                    if self.grouping else item[1].trace_key(),
                 )
                 workers = min(self.jobs, len(order))
                 chunk = -(-len(items) // workers)
@@ -671,21 +707,39 @@ class BenchProfiler:
         """The engine-side phases of a profiled bench run.
 
         One ``trace`` phase ensures every distinct functional trace is
-        resident (the expensive part on a cold cache), then one
-        ``simulate:<model>`` phase per architecture model prices that
-        model's specs.  Each spec is executed exactly once across the
-        partitions, so the reassembled result list is exactly what one
-        ``execute(specs)`` batch returns.
+        resident (the expensive part on a cold cache); then every spec
+        that shares its batch (program + geometry, the grouping law in
+        ``repro.engine.batching``) with at least one other is priced in
+        a single ``simulate:batch`` phase, and the remaining singletons
+        get one ``simulate:<model>`` phase per architecture model.  Each
+        spec is executed exactly once across the partitions, so the
+        reassembled result list is exactly what one ``execute(specs)``
+        batch returns.
         """
         self.phase(
             "trace", lambda: self.engine.prefetch_traces(specs),
             specs=len({spec.trace_key() for spec in specs}),
         )
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        solo: List[Tuple[int, RunSpec]] = []
+        batched: List[Tuple[int, RunSpec]] = []
+        for batch in group_specs(specs):
+            target = batched if self.engine.grouping and len(batch) > 1 \
+                else solo
+            target.extend(zip(batch.indices, batch.specs))
+        if batched:
+            batch_specs = [spec for _index, spec in batched]
+            outcomes = self.phase(
+                "simulate:batch",
+                lambda: self.engine.execute(batch_specs),
+                specs=len(batched),
+            )
+            for (index, _spec), outcome in zip(batched, outcomes):
+                results[index] = outcome
         by_model: Dict[str, List[Tuple[int, RunSpec]]] = {}
-        for index, spec in enumerate(specs):
+        for index, spec in sorted(solo):
             label = spec.model.label or spec.model.model
             by_model.setdefault(label, []).append((index, spec))
-        results: List[Optional[RunResult]] = [None] * len(specs)
         for label, items in by_model.items():
             subspecs = [spec for _index, spec in items]
             outcomes = self.phase(

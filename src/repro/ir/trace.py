@@ -34,6 +34,19 @@ class DynamicTrace:
         self.edge_counts: Dict[Tuple[BlockId, BlockId], int] = {}
         self._open_block: Optional[BlockId] = None
         self._open_count = 0
+        # Lazily built per-block query indices.  The timing models walk
+        # ``runs_of``/``mean_run_length`` once per block per model — on
+        # a sweep that is thousands of full-list scans of the same
+        # finished trace, so the first query folds the run list into a
+        # per-block index + closed-form (runs, execs) aggregates, and
+        # later queries are O(1).  Recording invalidates them.
+        self._runs_index: Optional[Dict[BlockId, List[Run]]] = None
+        self._run_aggregates: Optional[
+            Dict[BlockId, Tuple[int, int]]
+        ] = None
+        # id(cdfg) -> (cdfg, total ops); the strong reference pins the
+        # CDFG so its id cannot be recycled under the memo.
+        self._dyn_ops: Dict[int, Tuple[CDFG, int]] = {}
 
     # ------------------------------------------------------------------
     # Recording (used by the interpreter)
@@ -64,6 +77,9 @@ class DynamicTrace:
         block = self._open_block
         if block is None:
             return
+        self._runs_index = None
+        self._run_aggregates = None
+        self._dyn_ops.clear()
         self.runs.append(Run(block, self._open_count))
         self.exec_counts[block] = (
             self.exec_counts.get(block, 0) + self._open_count
@@ -92,18 +108,46 @@ class DynamicTrace:
             count += self._open_count
         return count
 
+    def _index_runs(self) -> Dict[BlockId, List[Run]]:
+        if self._runs_index is None:
+            index: Dict[BlockId, List[Run]] = {}
+            aggregates: Dict[BlockId, Tuple[int, int]] = {}
+            for run in self.runs:
+                index.setdefault(run.block, []).append(run)
+                count, total = aggregates.get(run.block, (0, 0))
+                aggregates[run.block] = (count + 1, total + run.count)
+            self._runs_index = index
+            self._run_aggregates = aggregates
+        return self._runs_index
+
     def runs_of(self, block: BlockId) -> List[Run]:
-        return [r for r in self.runs if r.block == block]
+        return self._index_runs().get(block, [])
+
+    def run_stats_of(self, block: BlockId) -> Tuple[int, int]:
+        """Closed-form ``(number of runs, total executions)`` of a block.
+
+        The algebraic form of what the analytical models used to derive
+        by walking :attr:`runs` — burst counts and burst volumes fall
+        out of one cached fold instead of a scan per query.
+        """
+        self._index_runs()
+        assert self._run_aggregates is not None
+        return self._run_aggregates.get(block, (0, 0))
 
     def transitions(self) -> int:
         """Number of block-to-block control transfers (run boundaries)."""
         return max(0, len(self.runs) - 1)
 
     def dynamic_op_count(self, cdfg: CDFG) -> int:
-        """Total FU operations executed."""
-        return sum(
+        """Total FU operations executed (memoised per CDFG)."""
+        memo = self._dyn_ops.get(id(cdfg))
+        if memo is not None and memo[0] is cdfg:
+            return memo[1]
+        total = sum(
             cdfg.block(bid).op_count * n for bid, n in self.exec_counts.items()
         )
+        self._dyn_ops[id(cdfg)] = (cdfg, total)
+        return total
 
     def dynamic_ops_in(self, cdfg: CDFG, blocks: Iterable[BlockId]) -> int:
         """FU operations executed within the given block set."""
@@ -116,10 +160,10 @@ class DynamicTrace:
 
     def mean_run_length(self, block: BlockId) -> float:
         """Average burst length of ``block`` (pipeline depth opportunity)."""
-        runs = self.runs_of(block)
-        if not runs:
+        count, total = self.run_stats_of(block)
+        if not count:
             return 0.0
-        return sum(r.count for r in runs) / len(runs)
+        return total / count
 
     # ------------------------------------------------------------------
     # Serialization (the engine's on-disk trace cache)

@@ -1,0 +1,591 @@
+"""Batch lockstep simulation: N runs of one program in a single pass.
+
+Sweeps produce exactly this shape of work — the *same* ``ArrayProgram``
+simulated over different data images (seeds) and, across arch variants,
+different latency parameters on identical geometry.  ``strategy="batch"``
+exploits it with a leader/follower design:
+
+* the **leader** (the cohort's first run) executes once under the
+  event-driven stepper, instrumented to record a *schedule tape*: every
+  instruction issue, firing completion, and outcome application, in
+  execution order, with cycle stamps.  The tape is the complete
+  cycle-level schedule of the run.
+* the **followers** never touch the control plane at all.  Their state is
+  held structure-of-arrays over the follower axis ``F`` — the scratchpad
+  is an ``(F, words)`` numpy object matrix, each port FIFO holds
+  ``(F,)``-vector tokens, registers are ``(F,)`` vectors — and the tape
+  is replayed over it: one vectorized update per tape event instead of
+  one interpreted simulator pass per run.
+
+The schedule is shared across a cohort iff every control decision is
+shared, and the replay *verifies* exactly that: every branch result and
+every latched loop bound is compared element-wise against the leader's.
+A follower row that disagrees (or drives a load/store out of bounds) is
+masked out of the batch with a boolean ``active`` mask and re-simulated
+individually under the exact event stepper, so divergence degrades
+performance, never correctness.  Operator evaluation deliberately calls
+the same scalar ``evaluate`` functions as the scalar simulators, row by
+row — numpy ufunc semantics (fixed-width ints, ULP differences) would
+break the bit-identity contract that ``tests/test_sim_event.py`` locks.
+
+Follower stats need no replay at all: every ``ArrayStats`` counter
+(cycle categories, firings, configurations, control traffic, tokens
+sent, network conflicts) is a function of the schedule alone, so a
+verified follower's stats are a deep copy of the leader's.  Only the
+scratchpad image, its bank-conflict count (addresses are data), and the
+graded outputs are per-follower.
+
+``simulate_batch`` groups runs into cohorts by ``ArchParams`` equality
+(mixed-arch sweeps split; geometry is part of params), simulates one
+leader per cohort, and replays the rest.  A cohort of one is just the
+leader — which is also what ``ArraySimulator(strategy="batch")`` runs
+for a single simulation.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.params import ArchParams
+from repro.errors import SimulationError
+from repro.ir.ops import op_info
+from repro.isa.data import DataInstruction, DataKind
+from repro.isa.operands import DestKind, Operand, OperandKind
+from repro.isa.program import ArrayProgram
+from repro.sim.array import ArraySimulator, SimulationResult
+from repro.sim.datapath import DataFlowPart
+from repro.sim.events import DeliverySchedule
+from repro.sim.memory import Scratchpad
+
+
+@dataclass
+class BatchRun:
+    """One member of a batch: its array images and (optional) params.
+
+    ``params=None`` inherits the batch-level default.  Runs whose
+    effective params compare equal share a cohort (and therefore a
+    leader); runs with different params — latency variants of an arch
+    sweep, say — split into separate cohorts automatically.
+    """
+
+    arrays: Mapping[str, Sequence] = field(default_factory=dict)
+    params: Optional[ArchParams] = None
+
+
+# ----------------------------------------------------------------------
+# Leader instrumentation
+# ----------------------------------------------------------------------
+class _Tape:
+    """The leader's recorded schedule.
+
+    Events (append order == execution order, cycles nondecreasing):
+
+    * ``("issue", pe, cycle, instruction, latch)`` — ``latch`` is
+      ``(lo, hi, step)`` when this issue latched new loop bounds;
+    * ``("finish", pe, cycle, metas)`` — ``metas`` is a list of
+      ``(outcome_id, branch_result)`` per completed firing, in
+      completion order;
+    * ``("apply", pe, cycle, outcome_id)`` — the array consumed the
+      outcome (scratchpad access and/or token routing);
+    * ``("rearm", pe)`` — the control part restarted the loop operator.
+    """
+
+    __slots__ = ("events", "outcome_ids", "keep")
+
+    def __init__(self) -> None:
+        self.events: List[tuple] = []
+        #: id(outcome) -> outcome number; ``keep`` pins the objects so
+        #: CPython cannot recycle an id mid-run.
+        self.outcome_ids: Dict[int, int] = {}
+        self.keep: List[object] = []
+
+
+class _RecordingDataFlowPart(DataFlowPart):
+    """A data flow part that journals issues/completions to the tape."""
+
+    def __init__(self, pe: int, *, t_execute: int, tape: _Tape) -> None:
+        super().__init__(pe, t_execute=t_execute)
+        self._tape = tape
+
+    def issue(self, instruction: DataInstruction, cycle: int) -> None:
+        was_latched = self._loop_latched
+        super().issue(instruction, cycle)
+        latch = None
+        if instruction.kind is DataKind.LOOP and not was_latched:
+            values = self.inflight[-1].values
+            lo = values[0] if values else self._loop_cur
+            latch = (lo, self._loop_hi, self._loop_step)
+        self._tape.events.append(
+            ("issue", self.pe, cycle, instruction, latch)
+        )
+
+    def complete(self, cycle: int):
+        outcomes = super().complete(cycle)
+        if outcomes:
+            tape = self._tape
+            metas = []
+            for outcome in outcomes:
+                number = len(tape.keep)
+                tape.keep.append(outcome)
+                tape.outcome_ids[id(outcome)] = number
+                metas.append((number, outcome.branch_result))
+            tape.events.append(("finish", self.pe, cycle, metas))
+        return outcomes
+
+    def rearm_loop(self) -> None:
+        super().rearm_loop()
+        self._tape.events.append(("rearm", self.pe))
+
+
+class _RecordingSimulator(ArraySimulator):
+    """An event-strategy simulator whose data plane writes the tape."""
+
+    def __init__(self, params: ArchParams, program: ArrayProgram, *,
+                 scratchpad_words: Optional[int], tape: _Tape) -> None:
+        super().__init__(params, program,
+                         scratchpad_words=scratchpad_words,
+                         strategy="event")
+        self._tape = tape
+        for pe in self.pes.values():
+            pe.data = _RecordingDataFlowPart(
+                pe.pe, t_execute=params.t_execute, tape=tape
+            )
+        # The plain data parts received reg_init in super().__init__;
+        # re-apply it to their recording replacements.
+        for (pe, reg), value in program.reg_init.items():
+            self.pes[pe].data.regs[reg] = value
+
+    def _apply_outcome(self, pe: int, outcome, cycle: int) -> None:
+        self._tape.events.append(
+            ("apply", pe, cycle, self._tape.outcome_ids[id(outcome)])
+        )
+        super()._apply_outcome(pe, outcome, cycle)
+
+
+# ----------------------------------------------------------------------
+# Follower replay
+# ----------------------------------------------------------------------
+def _same_scalar(a, b) -> bool:
+    """Bit-faithful scalar equality for schedule verification.
+
+    Type-strict (``1`` vs ``1.0`` must diverge: the emitted token types
+    differ downstream) and repr-strict for floats (``-0.0`` vs ``0.0``
+    compare ``==`` but print differently in a dumped image).  NaN
+    compares unequal to itself and correctly falls to the resim path.
+    """
+    if type(a) is not type(b):
+        return False
+    if a != b:
+        return False
+    if isinstance(a, float) and repr(a) != repr(b):
+        return False
+    return True
+
+
+@dataclass
+class _FollowerFiring:
+    complete_cycle: int
+    instruction: DataInstruction
+    values: Tuple[np.ndarray, ...]
+
+
+class _ReplayDiverged(Exception):
+    """Internal: the replay invariants broke; resim the whole cohort."""
+
+
+class _CohortReplay:
+    """SoA state for the followers of one cohort, driven by the tape."""
+
+    def __init__(self, program: ArrayProgram, params: ArchParams,
+                 follower_runs: Sequence[BatchRun], words: int) -> None:
+        self.program = program
+        self.params = params
+        self.count = len(follower_runs)
+        self.words = words
+        self.banks = params.sram_banks
+        # Scratchpad matrix, one row per follower; object dtype keeps
+        # exact Python int/float values (the scalar simulators store
+        # arbitrary-precision ints).
+        self.mem = np.full((self.count, words), 0, dtype=object)
+        index = program.array_index()
+        for row, run in enumerate(follower_runs):
+            for name, values in run.arrays.items():
+                entry = index.get(name)
+                if entry is None:
+                    raise SimulationError(
+                        f"array {name!r} not in program table"
+                    )
+                base, length = entry
+                if len(values) > length:
+                    raise SimulationError(
+                        f"array {name!r}: {len(values)} values exceed "
+                        f"declared length {length}"
+                    )
+                for offset, value in enumerate(values):
+                    self.mem[row, base + offset] = (
+                        value.item() if isinstance(value, np.generic)
+                        else value
+                    )
+        #: (pe, port) -> FIFO of (F,) token vectors.  Occupancy is
+        #: schedule-determined, so one queue serves the whole cohort.
+        self.ports: Dict[Tuple[int, int], Deque[np.ndarray]] = {}
+        #: (pe, reg) -> (F,) vector; reads fall back to reg_init/zero.
+        self.regs: Dict[Tuple[int, int], np.ndarray] = {}
+        #: pe -> mirrored loop-operator state (shared scalars: bounds
+        #: are verified equal to the leader's for every active row).
+        self.loops: Dict[int, dict] = {}
+        self.inflight: Dict[int, List[_FollowerFiring]] = {}
+        self.sched = DeliverySchedule()
+        #: outcome number -> pending apply record.
+        self.records: Dict[int, tuple] = {}
+        self.active = np.ones(self.count, dtype=bool)
+        self._sel = np.flatnonzero(self.active)
+        self.diverged: List[int] = []
+        # Scratchpad accounting (reads/writes are schedule-determined;
+        # bank conflicts depend on per-follower addresses).
+        self.reads = 0
+        self.writes = 0
+        self.conflicts = np.zeros(self.count, dtype=np.int64)
+        self._bank_counts = np.zeros((self.count, self.banks),
+                                     dtype=np.int64)
+        self._conflict_cycle = -1
+
+    # -- divergence ----------------------------------------------------
+    def _diverge_rows(self, rows) -> None:
+        changed = False
+        for row in rows:
+            if self.active[row]:
+                self.active[row] = False
+                self.diverged.append(int(row))
+                changed = True
+        if changed:
+            self._sel = np.flatnonzero(self.active)
+
+    # -- operand access ------------------------------------------------
+    def _vector(self, value) -> np.ndarray:
+        out = np.empty(self.count, dtype=object)
+        out[:] = value
+        return out
+
+    def _read_operand(self, pe: int, operand: Operand) -> np.ndarray:
+        if operand.kind is OperandKind.PORT:
+            fifo = self.ports.get((pe, operand.value))
+            if not fifo:
+                raise _ReplayDiverged(
+                    f"PE {pe}: port {operand.value} empty during replay"
+                )
+            return fifo.popleft()
+        if operand.kind is OperandKind.REG:
+            key = (pe, operand.value)
+            vec = self.regs.get(key)
+            if vec is None:
+                vec = self._vector(
+                    self.program.reg_init.get(key, 0)
+                )
+                self.regs[key] = vec
+            return vec
+        return self._vector(operand.value)
+
+    # -- tape events ---------------------------------------------------
+    def _drain_deliveries(self, cycle: int) -> None:
+        sched = self.sched
+        while True:
+            due = sched.next_cycle()
+            if due is None or due > cycle:
+                return
+            for dst_pe, port, vec in sched.pop_due(due):
+                self.ports.setdefault((dst_pe, port),
+                                      deque()).append(vec)
+
+    def on_rearm(self, pe: int) -> None:
+        state = self.loops.get(pe)
+        if state is not None:
+            state["latched"] = False
+            state["exhausted"] = False
+
+    def on_issue(self, pe: int, cycle: int,
+                 instruction: DataInstruction, latch) -> None:
+        if instruction.kind is DataKind.LOOP:
+            state = self.loops.setdefault(
+                pe, {"latched": False, "cur": 0, "hi": 0, "step": 1,
+                     "exhausted": False},
+            )
+            if latch is not None:
+                lo_vec, hi_vec, step_vec = (
+                    self._read_operand(pe, operand)
+                    for operand in instruction.loop_bounds
+                )
+                lo, hi, step = latch
+                bad = [
+                    row for row in self._sel
+                    if not (_same_scalar(lo_vec[row], lo)
+                            and _same_scalar(hi_vec[row], hi)
+                            and _same_scalar(step_vec[row], step))
+                ]
+                self._diverge_rows(bad)
+                state.update(latched=True, cur=lo, hi=hi, step=step,
+                             exhausted=False)
+            if state["cur"] >= state["hi"]:
+                state["exhausted"] = True
+                values: Tuple[np.ndarray, ...] = ()
+            else:
+                emitted = state["cur"]
+                state["cur"] = emitted + state["step"]
+                if state["cur"] >= state["hi"]:
+                    state["exhausted"] = True
+                values = (self._vector(emitted),)
+        else:
+            values = tuple(
+                self._read_operand(pe, operand)
+                for operand in instruction.srcs
+            )
+        self.inflight.setdefault(pe, []).append(_FollowerFiring(
+            cycle + self.params.t_execute, instruction, values
+        ))
+
+    def on_finish(self, pe: int, cycle: int, metas) -> None:
+        pending = self.inflight.get(pe, [])
+        done = [f for f in pending if f.complete_cycle <= cycle]
+        if len(done) != len(metas):
+            raise _ReplayDiverged(
+                f"PE {pe}: {len(done)} completions vs leader's "
+                f"{len(metas)}"
+            )
+        self.inflight[pe] = [
+            f for f in pending if f.complete_cycle > cycle
+        ]
+        for firing, (number, leader_branch) in zip(done, metas):
+            self.records[number] = self._finish(
+                pe, firing, leader_branch
+            )
+
+    def _finish(self, pe: int, firing: _FollowerFiring,
+                leader_branch) -> tuple:
+        instruction = firing.instruction
+        kind = instruction.kind
+        if kind is DataKind.COMPUTE:
+            assert instruction.opcode is not None
+            fn = op_info(instruction.opcode).evaluate
+            assert fn is not None
+            out = np.empty(self.count, dtype=object)
+            # Row-by-row with the scalar evaluate: exactness beats
+            # ufunc throughput here (see module docstring).
+            for row in self._sel:
+                out[row] = fn(*(vec[row] for vec in firing.values))
+            if leader_branch is not None:
+                bad = [row for row in self._sel
+                       if bool(out[row]) != leader_branch]
+                self._diverge_rows(bad)
+            for dest in instruction.dests:
+                if dest.kind is DestKind.REG:
+                    self.regs[(pe, dest.port)] = out
+            return ("value", instruction.dests, out)
+        if kind is DataKind.LOAD:
+            return ("load", instruction.dests, instruction.array_id,
+                    self._indices(firing.values[0]))
+        if kind is DataKind.STORE:
+            return ("store", instruction.array_id,
+                    self._indices(firing.values[0]), firing.values[1])
+        if kind is DataKind.LOOP:
+            if not firing.values:  # zero-trip loop: exit only
+                return ("noop",)
+            vec = firing.values[0]
+            for dest in instruction.dests:
+                if dest.kind is DestKind.REG:
+                    self.regs[(pe, dest.port)] = vec
+            return ("value", instruction.dests, vec)
+        raise _ReplayDiverged(f"unexpected firing of {kind}")
+
+    def _indices(self, vec: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.count, dtype=np.int64)
+        for row in self._sel:
+            out[row] = int(vec[row])
+        return out
+
+    def on_apply(self, pe: int, cycle: int, number: int) -> None:
+        record = self.records.pop(number)
+        tag = record[0]
+        if tag == "noop":
+            return
+        if tag == "load":
+            _, dests, array_id, indices = record
+            _name, base, length = self.program.array_table[array_id]
+            ok = self._bounds_ok(indices, length)
+            addrs = base + indices
+            self._track(cycle, addrs, ok)
+            self.reads += 1
+            out = np.empty(self.count, dtype=object)
+            sel = np.flatnonzero(ok)
+            out[sel] = self.mem[sel, addrs[sel]]
+            self._route(pe, dests, out, cycle)
+            return
+        if tag == "store":
+            _, array_id, indices, values = record
+            _name, base, length = self.program.array_table[array_id]
+            ok = self._bounds_ok(indices, length)
+            addrs = base + indices
+            self._track(cycle, addrs, ok)
+            self.writes += 1
+            sel = np.flatnonzero(ok)
+            self.mem[sel, addrs[sel]] = values[sel]
+            return
+        _, dests, values = record
+        self._route(pe, dests, values, cycle)
+
+    def _bounds_ok(self, indices: np.ndarray, length: int) -> np.ndarray:
+        ok = self.active & (indices >= 0) & (indices < length)
+        bad = self.active & ~ok
+        if bad.any():
+            # The leader survived this access; a follower that does not
+            # has genuinely divergent data — resim it exactly (and let
+            # the per-run SimulationError surface there).
+            self._diverge_rows(np.flatnonzero(bad))
+        return ok
+
+    def _track(self, cycle: int, addrs: np.ndarray,
+               ok: np.ndarray) -> None:
+        if cycle != self._conflict_cycle:
+            self._conflict_cycle = cycle
+            self._bank_counts[:] = 0
+        sel = np.flatnonzero(ok)
+        banks = addrs[sel] % self.banks
+        self._bank_counts[sel, banks] += 1
+        self.conflicts[sel] += self._bank_counts[sel, banks] > 1
+
+    def _route(self, src_pe: int, dests, values: np.ndarray,
+               cycle: int) -> None:
+        for dest in dests:
+            if dest.kind is not DestKind.PE_PORT:
+                continue
+            if dest.pe == src_pe:
+                self.ports.setdefault((src_pe, dest.port),
+                                      deque()).append(values)
+            else:
+                self.sched.push(
+                    cycle + self.params.data_net_latency,
+                    (dest.pe, dest.port, values),
+                )
+
+    # -- driver --------------------------------------------------------
+    def replay(self, tape: _Tape) -> None:
+        for event in tape.events:
+            kind = event[0]
+            if kind == "rearm":
+                self.on_rearm(event[1])
+                continue
+            cycle = event[2]
+            self._drain_deliveries(cycle)
+            if kind == "finish":
+                self.on_finish(event[1], cycle, event[3])
+            elif kind == "apply":
+                self.on_apply(event[1], cycle, event[3])
+            else:
+                self.on_issue(event[1], cycle, event[3], event[4])
+            if not self._sel.size:
+                return  # every follower diverged; resim covers them
+
+    def result_for(self, row: int,
+                   leader: SimulationResult) -> SimulationResult:
+        scratchpad = Scratchpad(self.words, banks=self.banks)
+        scratchpad.data = list(self.mem[row])
+        scratchpad.reads = self.reads
+        scratchpad.writes = self.writes
+        scratchpad.bank_conflicts = int(self.conflicts[row])
+        return SimulationResult(
+            cycles=leader.cycles,
+            stats=copy.deepcopy(leader.stats),
+            scratchpad=scratchpad,
+            halted=leader.halted,
+        )
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def _simulate_single(program: ArrayProgram, params: ArchParams,
+                     run: BatchRun, *, scratchpad_words: Optional[int],
+                     max_cycles: int,
+                     halt_messages: int) -> SimulationResult:
+    sim = ArraySimulator(params, program,
+                         scratchpad_words=scratchpad_words,
+                         strategy="event")
+    for name, values in run.arrays.items():
+        sim.load_array(name, values)
+    return sim.run(max_cycles=max_cycles, halt_messages=halt_messages)
+
+
+def simulate_batch(params: ArchParams, program: ArrayProgram,
+                   runs: Sequence[BatchRun], *,
+                   scratchpad_words: Optional[int] = None,
+                   max_cycles: int = 200_000,
+                   halt_messages: int = 1) -> List[SimulationResult]:
+    """Simulate ``runs`` of one program, batching wherever legal.
+
+    Results are positionally aligned with ``runs`` and bit-identical —
+    cycles, ``ArrayStats``, scratchpad image, reads/writes/conflicts —
+    to simulating each run alone with ``strategy="naive"`` (the
+    differential matrix in ``tests/test_sim_event.py`` enforces this).
+    Per-run ``SimulationError``s (out-of-bounds accesses, runaway
+    loops) propagate exactly as a solo simulation would raise them.
+    """
+    program.validate()
+    results: List[Optional[SimulationResult]] = [None] * len(runs)
+    cohorts: Dict[ArchParams, List[int]] = {}
+    for position, run in enumerate(runs):
+        cohorts.setdefault(run.params or params, []).append(position)
+
+    for cohort_params, members in cohorts.items():
+        leader_pos, follower_pos = members[0], members[1:]
+        tape = _Tape()
+        leader = _RecordingSimulator(
+            cohort_params, program,
+            scratchpad_words=scratchpad_words, tape=tape,
+        )
+        words = leader.scratchpad.words
+        replay = (
+            _CohortReplay(program, cohort_params,
+                          [runs[p] for p in follower_pos], words)
+            if follower_pos else None
+        )
+        try:
+            for name, values in runs[leader_pos].arrays.items():
+                leader.load_array(name, values)
+            leader_result = leader.run(
+                max_cycles=max_cycles, halt_messages=halt_messages
+            )
+        except SimulationError:
+            # The leader itself fails: nothing to replay.  Re-run every
+            # member individually so errors surface per run, in order.
+            for position in members:
+                results[position] = _simulate_single(
+                    program, cohort_params, runs[position],
+                    scratchpad_words=scratchpad_words,
+                    max_cycles=max_cycles, halt_messages=halt_messages,
+                )
+            continue
+        results[leader_pos] = leader_result
+        if replay is None:
+            continue
+        try:
+            replay.replay(tape)
+        except _ReplayDiverged:
+            replay.active[:] = False
+            replay.diverged = list(range(replay.count))
+        diverged = set(replay.diverged)
+        for offset, position in enumerate(follower_pos):
+            if offset in diverged:
+                results[position] = _simulate_single(
+                    program, cohort_params, runs[position],
+                    scratchpad_words=scratchpad_words,
+                    max_cycles=max_cycles, halt_messages=halt_messages,
+                )
+            else:
+                results[position] = replay.result_for(
+                    offset, leader_result
+                )
+    return results  # type: ignore[return-value]

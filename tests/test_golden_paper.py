@@ -1,0 +1,70 @@
+"""Paper-scale golden regression lane (slow; opt-in).
+
+The ``small``-scale snapshots in ``test_golden_experiments.py`` catch
+model drift cheaply on every run; this lane replays all nine
+experiments at the paper's own workload sizes and pins them to
+snapshots under ``tests/golden/paper/``.  It takes minutes, so it is
+deselected by default and run as its own CI lane:
+
+    PYTHONPATH=src python -m pytest tests/test_golden_paper.py \
+        --paper-scale -q
+
+Regenerating after an intentional change:
+
+    PYTHONPATH=src python -m pytest tests/test_golden_paper.py \
+        --paper-scale --update-golden
+
+The comparison is exact (JSON round-trip, repr-faithful floats), same
+as the small-scale lane.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.engine import Engine
+from repro.experiments import report
+
+from test_golden_experiments import SLUGS, _canonical, _first_difference
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "paper"
+SCALE = "paper"
+SEED = 0
+
+pytestmark = pytest.mark.paper_scale
+
+
+@pytest.fixture(scope="module")
+def results() -> Dict[str, object]:
+    """All nine experiments at paper scale, run once."""
+    engine = Engine()
+    return dict(zip(SLUGS, report.run_all(SCALE, SEED, engine=engine)))
+
+
+@pytest.mark.parametrize("slug", SLUGS)
+def test_golden_paper(slug, results, request):
+    payload = _canonical(results[slug])
+    path = GOLDEN_DIR / f"{slug}.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return
+    assert path.exists(), (
+        f"missing snapshot {path}; generate it with "
+        f"pytest tests/test_golden_paper.py --paper-scale "
+        f"--update-golden"
+    )
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    drift = _first_difference(golden, payload)
+    assert payload == golden, (
+        f"{slug} drifted from its paper-scale golden snapshot (first "
+        f"difference: {drift}); if intentional, regenerate with "
+        f"--paper-scale --update-golden and review the diff"
+    )

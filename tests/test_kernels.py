@@ -278,11 +278,11 @@ class TestExportAndDifferential:
             package_from_workload(get_workload("gemm"), "tiny")
         assert "gemm" in _one_line(error)
 
-    def test_event_and_naive_strategies_are_bit_identical(self):
+    def test_all_strategies_are_bit_identical(self):
         package = package_from_workload(Sigmoid(), "tiny", seed=0)
         reports = {
             strategy: run_kernel(package, strategy=strategy)
-            for strategy in ("event", "naive")
+            for strategy in ("event", "naive", "batch")
         }
         assert all(r.passed for r in reports.values())
         documents = {
@@ -291,6 +291,7 @@ class TestExportAndDifferential:
             for strategy, report in reports.items()
         }
         assert documents["event"] == documents["naive"]
+        assert documents["batch"] == documents["naive"]
 
     def test_failing_package_reports_first_bad_index(self):
         document = _saxpy_document()
@@ -528,7 +529,7 @@ class TestShippedExamples:
         regenerated = package_from_workload(Sigmoid(), "tiny", seed=0)
         assert committed.fingerprint() == regenerated.fingerprint()
 
-    @pytest.mark.parametrize("strategy", ["event", "naive"])
+    @pytest.mark.parametrize("strategy", ["event", "naive", "batch"])
     def test_every_example_passes_on_the_array(self, strategy):
         for _path, package in load_kernel_suite(EXAMPLES_DIR):
             report = run_kernel(package, strategy=strategy)
@@ -536,3 +537,26 @@ class TestShippedExamples:
                 f"{package.name} under {strategy}: "
                 f"{report.to_document()}"
             )
+
+    def test_examples_grade_identically_under_every_strategy(self):
+        """Cross-strategy property: each shipped package produces the
+        same graded document (modulo the strategy tag) under the naive,
+        event, and batch steppers, and its engine cache identity is a
+        pure function of content — the strategy never enters the
+        fingerprint-addressed records."""
+        for _path, package in load_kernel_suite(EXAMPLES_DIR):
+            documents = {}
+            for strategy in ("naive", "event", "batch"):
+                report = run_kernel(package, strategy=strategy)
+                document = report.to_document()
+                assert document.pop("strategy") == strategy
+                documents[strategy] = document
+            assert documents["event"] == documents["naive"], package.name
+            assert documents["batch"] == documents["naive"], package.name
+            # Fingerprint-addressed identity: cache keys name content
+            # only, so a record written under one strategy is the same
+            # record any other strategy would address.
+            for spec in kernel_specs([package]):
+                key = json.dumps(spec.cache_key(), sort_keys=True)
+                assert "strategy" not in key
+                assert spec.fingerprint() == spec.fingerprint()
