@@ -20,8 +20,9 @@ import numpy as np
 
 from repro.arch.params import ArchParams
 from repro.engine import BENCH_PROFILE_SCHEMA
+from repro.engine.executor import EngineStats
 from repro.sim.array import ArraySimulator
-from repro.sim.batch import BatchRun, simulate_batch
+from repro.sim.batch import BatchRun, TapeStore, simulate_batch
 
 from test_event_stepping import _sparse_program
 
@@ -94,6 +95,107 @@ def test_batch_stepper_beats_sequential_event_on_sparse_sweep(scale):
         f"batch stepper only {speedup:.2f}x over sequential event "
         f"(floor {SPEEDUP_FLOOR}x)"
     )
+
+
+#: Margin the *vectorized* follower data plane must clear over
+#: sequential naive stepping on a wide int-only sweep: with 31 of 32
+#: members replaying eligible firings as single ufunc calls, the cohort
+#: cost is dominated by the one recorded leader, so the floor scales
+#: well past the 8-run gate's.  4.0x keeps CI noise-proof.
+VECTOR_SPEEDUP_FLOOR = 4.0
+
+#: Sweep width of the vectorized gate.
+VECTOR_RUNS = 32
+
+
+def test_vectorized_batch_beats_naive_on_wide_int_sweep(scale):
+    """The tentpole gate: a 32-run int-only sparse-control cohort must
+    run >= 4x faster than 32 sequential naive simulations, take the
+    vector fast path (counters prove it), and stay bit-identical
+    three ways (naive == event == batch)."""
+    params = replace(ArchParams().scaled(8, 8), data_net_latency=30)
+    n = 96
+    program = _sparse_program(params, n)
+    members = []
+    for seed in range(VECTOR_RUNS):
+        rng = np.random.default_rng(seed)
+        members.append({
+            "A": rng.integers(1, 100, n),
+            "B": rng.integers(1, 100, n),
+        })
+
+    def _strategy_run(strategy, arrays):
+        sim = ArraySimulator(params, program, strategy=strategy)
+        for name, values in arrays.items():
+            sim.load_array(name, values)
+        return sim.run(halt_messages=999)
+
+    start = time.perf_counter()
+    naive_results = [_strategy_run("naive", arrays)
+                     for arrays in members]
+    naive_seconds = time.perf_counter() - start
+
+    event_results = [_strategy_run("event", arrays)
+                     for arrays in members]
+
+    stats = EngineStats()
+    start = time.perf_counter()
+    batch_results = simulate_batch(
+        params, program,
+        [BatchRun(arrays=arrays) for arrays in members],
+        halt_messages=999, stats=stats, tape_store=TapeStore(),
+    )
+    batch_seconds = time.perf_counter() - start
+
+    # Bit-identity three ways before any timing claim.
+    for naive, event, batch in zip(naive_results, event_results,
+                                   batch_results):
+        for reference in (naive, event):
+            assert batch.cycles == reference.cycles
+            assert batch.stats == reference.stats
+            assert batch.scratchpad.data == reference.scratchpad.data
+            assert batch.scratchpad.bank_conflicts == \
+                reference.scratchpad.bank_conflicts
+
+    # The int-only cohort must actually ride the vector plane: every
+    # eligible firing as one ufunc call, no divergence fallbacks.
+    assert stats.vector_evals > 0
+    assert stats.fallback_rows == 0
+    assert stats.tape_records == 1
+
+    speedup = naive_seconds / batch_seconds
+    print(f"\nsparse-control 8x8, n={n}, mesh=30c, {VECTOR_RUNS} runs: "
+          f"naive {naive_seconds * 1000:.1f} ms, "
+          f"batch {batch_seconds * 1000:.1f} ms "
+          f"({speedup:.2f}x, {stats.vector_evals} vector evals)")
+    assert speedup >= VECTOR_SPEEDUP_FLOOR, (
+        f"vectorized batch only {speedup:.2f}x over sequential naive "
+        f"(floor {VECTOR_SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_profiler_phase_reports_the_batch_split(tmp_path):
+    """A phase that moves the batch data plane carries a ``batch_split``
+    stanza (the changed ``batch_stats()`` keys); a phase that does not
+    omits the key entirely, keeping analytic-model profiles unchanged."""
+    from repro.engine import BenchProfiler, Engine
+
+    params = replace(ArchParams().scaled(8, 8), data_net_latency=30)
+    n = 24
+    program = _sparse_program(params, n)
+    profiler = BenchProfiler(Engine(cache_dir=tmp_path / "cache"))
+    profiler.phase("simulate:batch", lambda: simulate_batch(
+        params, program,
+        [BatchRun(arrays=arrays) for arrays in _member_arrays(n)],
+        halt_messages=999, tape_store=TapeStore(),
+    ))
+    profiler.phase("assemble", lambda: None)
+    batch_phase, idle_phase = profiler.phases
+    split = batch_phase["batch_split"]
+    assert split["vector_evals"] > 0
+    assert split["tape_records"] == 1
+    assert split["record_seconds"] > 0
+    assert "batch_split" not in idle_phase
 
 
 def test_bench_profile_prices_grouped_simulation(tmp_path, capsys):

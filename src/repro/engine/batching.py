@@ -22,7 +22,7 @@ records, and stats stay byte-identical to ungrouped execution —
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.spec import RunSpec
 
@@ -48,19 +48,26 @@ class SpecBatch:
         return len(self.specs)
 
 
-def group_specs(specs: Sequence[RunSpec]) -> List[SpecBatch]:
+def group_specs(specs: Sequence[RunSpec],
+                limit: Optional[int] = None) -> List[SpecBatch]:
     """Partition ``specs`` into batches under the grouping law.
 
     Batches appear in first-member order and members keep their input
     order, so iterating batches then members is a deterministic
     permutation of the input — every spec lands in exactly one batch.
+
+    ``limit`` bounds batch size (``repro bench --group-size``): a group
+    that reaches the limit is sealed and later compatible specs open a
+    fresh batch, preserving both orderings.  ``None`` means unbounded.
     """
+    if limit is not None and limit < 1:
+        raise ValueError(f"group size limit must be >= 1, got {limit}")
     batches: Dict[BatchKey, SpecBatch] = {}
     ordered: List[SpecBatch] = []
     for index, spec in enumerate(specs):
         key = batch_key(spec)
         batch = batches.get(key)
-        if batch is None:
+        if batch is None or (limit is not None and len(batch) >= limit):
             batch = batches[key] = SpecBatch(key)
             ordered.append(batch)
         batch.indices.append(index)

@@ -103,6 +103,14 @@ class EngineStats:
     simulations: int = 0       # architecture model evaluations performed
     sim_cache_hits: int = 0    # cycle results served from the cache
     sim_memo_hits: int = 0     # re-lookups served from this engine's memo
+    # Batch data-plane counters (repro.sim.batch): accrued when this
+    # stats object is passed to ``simulate_batch(stats=...)`` — e.g. by
+    # array-level harnesses; the engine's analytical models leave them 0.
+    vector_evals: int = 0      # cohort firings priced with one ufunc call
+    scalar_evals: int = 0      # cohort firings priced row-by-row
+    fallback_rows: int = 0     # batch members re-simulated exactly
+    tape_hits: int = 0         # cohorts served from the schedule-tape memo
+    tape_records: int = 0      # schedule tapes recorded
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -111,6 +119,11 @@ class EngineStats:
             "simulations": self.simulations,
             "sim_cache_hits": self.sim_cache_hits,
             "sim_memo_hits": self.sim_memo_hits,
+            "vector_evals": self.vector_evals,
+            "scalar_evals": self.scalar_evals,
+            "fallback_rows": self.fallback_rows,
+            "tape_hits": self.tape_hits,
+            "tape_records": self.tape_records,
         }
 
 
@@ -153,8 +166,23 @@ def _trace_job(key: TraceKey) -> Tuple[TraceKey, dict]:
         raise _trace_error(key, error) from error
 
 
+def _reset_tape_store() -> None:
+    """Start pool workers from a cold schedule-tape memo.
+
+    Fork-started workers inherit the parent's process-wide
+    :class:`~repro.sim.batch.TapeStore`; clearing it keeps worker
+    behaviour identical across fork and spawn (and bounds what a
+    long-lived pool pins in memory).  Import is lazy: engines that
+    never simulate arrays never load the sim stack.
+    """
+    from repro.sim.batch import default_tape_store
+
+    default_tape_store().clear()
+
+
 def _init_trace_worker(kernel_documents=None) -> None:
     _register_kernel_documents(kernel_documents)
+    _reset_tape_store()
 
 
 def _init_sim_worker(traces: Dict[TraceKey, dict],
@@ -164,6 +192,7 @@ def _init_sim_worker(traces: Dict[TraceKey, dict],
     _WORKER_KERNELS = {}
     _WORKER_PLACEMENTS = {}
     _register_kernel_documents(kernel_documents)
+    _reset_tape_store()
 
 
 def _kernel_from_payload(key: TraceKey, payload: dict) -> KernelInstance:
@@ -256,12 +285,20 @@ class Engine:
     """
 
     def __init__(self, cache_dir=None, jobs: int = 1,
-                 backend=None, grouping: bool = True) -> None:
+                 backend=None, grouping: bool = True,
+                 group_size: Optional[int] = None) -> None:
         self.jobs = max(1, int(jobs))
         #: apply the batch grouping law (repro.engine.batching) when
         #: executing; off exists for differential testing only — both
         #: settings produce byte-identical results and records.
         self.grouping = bool(grouping)
+        if group_size is not None and int(group_size) < 1:
+            raise EngineError(
+                f"group_size must be >= 1, got {group_size}"
+            )
+        #: optional cap on batch size under the grouping law
+        #: (`repro bench --group-size`); None means unbounded.
+        self.group_size = None if group_size is None else int(group_size)
         self.cache = TraceCache(cache_dir, backend=backend)
         self.stats = EngineStats()
         self._trace_payloads: Dict[TraceKey, dict] = {}
@@ -423,7 +460,7 @@ class Engine:
                 # repro.engine.batching) run adjacently so they feed one
                 # shared placement pool / kernel memo back to back.
                 order = [
-                    spec for batch in group_specs(order)
+                    spec for batch in group_specs(order, self.group_size)
                     for spec in batch.specs
                 ]
             self._ensure_traces({spec.trace_key() for spec in order})
@@ -683,12 +720,25 @@ class BenchProfiler:
 
     def phase(self, name: str, fn: Callable[[], object], *,
               specs: Optional[int] = None) -> object:
-        """Run ``fn`` as the named phase; returns its result."""
+        """Run ``fn`` as the named phase; returns its result.
+
+        Alongside the :class:`EngineStats` delta, any batch data-plane
+        activity (``repro.sim.batch`` — schedule-tape record, follower
+        replay, vectorized evaluation) that occurred in-process during
+        the phase is reported as a ``batch_split`` dict of
+        :class:`~repro.sim.batch.BatchStats` deltas, so a
+        ``simulate:batch`` phase splits record vs replay vs vector-eval
+        time.  Phases with no batch activity omit the key.
+        """
+        from repro.sim.batch import batch_stats
+
         before = self.engine.stats.as_dict()
+        batch_before = batch_stats().as_dict()
         start = time.perf_counter()
         result = fn()
         seconds = time.perf_counter() - start
         after = self.engine.stats.as_dict()
+        batch_after = batch_stats().as_dict()
         record: Dict[str, object] = {
             "phase": name,
             "seconds": seconds,
@@ -697,6 +747,12 @@ class BenchProfiler:
                 for key in after if after[key] != before[key]
             },
         }
+        batch_split = {
+            key: batch_after[key] - batch_before[key]
+            for key in batch_after if batch_after[key] != batch_before[key]
+        }
+        if batch_split:
+            record["batch_split"] = batch_split
         if specs is not None:
             record["specs"] = specs
         self.phases.append(record)
@@ -723,7 +779,7 @@ class BenchProfiler:
         results: List[Optional[RunResult]] = [None] * len(specs)
         solo: List[Tuple[int, RunSpec]] = []
         batched: List[Tuple[int, RunSpec]] = []
-        for batch in group_specs(specs):
+        for batch in group_specs(specs, self.engine.group_size):
             target = batched if self.engine.grouping and len(batch) > 1 \
                 else solo
             target.extend(zip(batch.indices, batch.specs))

@@ -23,10 +23,13 @@ every latched loop bound is compared element-wise against the leader's.
 A follower row that disagrees (or drives a load/store out of bounds) is
 masked out of the batch with a boolean ``active`` mask and re-simulated
 individually under the exact event stepper, so divergence degrades
-performance, never correctness.  Operator evaluation deliberately calls
-the same scalar ``evaluate`` functions as the scalar simulators, row by
-row — numpy ufunc semantics (fixed-width ints, ULP differences) would
-break the bit-identity contract that ``tests/test_sim_event.py`` locks.
+performance, never correctness.  Operator evaluation takes a vectorized
+fast path when every active operand row is a bounded Python int and the
+opcode has a vetted int64 equivalent (``sim/vector_ops.py`` carries the
+exactness proofs); everything else — floats with repr-sensitive
+formatting, overflow-scale values, unvetted ops like DIV/MOD — keeps
+the scalar ``evaluate`` functions, row by row, preserving the
+bit-identity contract that ``tests/test_sim_event.py`` locks.
 
 Follower stats need no replay at all: every ``ArrayStats`` counter
 (cycle categories, firings, configurations, control traffic, tokens
@@ -40,12 +43,25 @@ graded outputs are per-follower.
 leader per cohort, and replays the rest.  A cohort of one is just the
 leader — which is also what ``ArraySimulator(strategy="batch")`` runs
 for a single simulation.
+
+Recorded tapes are additionally memoized in a process-wide
+:class:`TapeStore` keyed by (program fingerprint, params, max_cycles,
+halt_messages, scratchpad_words).  Equal-geometry cohorts from later
+calls — arch sweeps sharing a geometry, kernel sweeps, grouped
+dispatch — replay a tape recorded once; every member of a memo-served
+cohort runs as a verified follower (with exact resim on any
+divergence), so sharing never weakens the bit-identity contract.
+:class:`BatchStats` (:func:`batch_stats` for the process-wide
+instance) counts vector/scalar firings, fallback rows, and tape
+traffic, and splits wall time into record/replay/vector-eval phases
+for the bench profiler.
 """
 
 from __future__ import annotations
 
 import copy
-from collections import deque
+import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -61,6 +77,7 @@ from repro.sim.array import ArraySimulator, SimulationResult
 from repro.sim.datapath import DataFlowPart
 from repro.sim.events import DeliverySchedule
 from repro.sim.memory import Scratchpad
+from repro.sim.vector_ops import OPERAND_LIMIT, VECTOR_OPS
 
 
 @dataclass
@@ -75,6 +92,110 @@ class BatchRun:
 
     arrays: Mapping[str, Sequence] = field(default_factory=dict)
     params: Optional[ArchParams] = None
+
+
+# ----------------------------------------------------------------------
+# Instrumentation: counters and the cross-cohort tape memo
+# ----------------------------------------------------------------------
+@dataclass
+class BatchStats:
+    """Counters and phase timings for the batch data plane.
+
+    A process-wide instance (:func:`batch_stats`) always accrues so the
+    bench profiler can report deltas; ``simulate_batch(stats=...)``
+    additionally accrues into any sink exposing matching attributes
+    (``EngineStats`` carries the five counters).
+    """
+
+    #: Firings evaluated with one vetted numpy call over the cohort.
+    vector_evals: int = 0
+    #: Firings evaluated with the scalar ``evaluate`` row loop.
+    scalar_evals: int = 0
+    #: Member runs re-simulated exactly (divergence or leader failure).
+    fallback_rows: int = 0
+    #: Cohorts served from the tape store without recording a leader.
+    tape_hits: int = 0
+    #: Tapes recorded (and stored for later cohorts).
+    tape_records: int = 0
+    record_seconds: float = 0.0
+    replay_seconds: float = 0.0
+    vector_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "vector_evals": self.vector_evals,
+            "scalar_evals": self.scalar_evals,
+            "fallback_rows": self.fallback_rows,
+            "tape_hits": self.tape_hits,
+            "tape_records": self.tape_records,
+            "record_seconds": self.record_seconds,
+            "replay_seconds": self.replay_seconds,
+            "vector_seconds": self.vector_seconds,
+        }
+
+
+_GLOBAL_STATS = BatchStats()
+
+
+def batch_stats() -> BatchStats:
+    """The always-accruing process-wide :class:`BatchStats`."""
+    return _GLOBAL_STATS
+
+
+def _accrue(sinks, name: str, amount=1) -> None:
+    """Add ``amount`` to ``name`` on every sink that has the field."""
+    for sink in sinks:
+        value = getattr(sink, name, None)
+        if value is not None:
+            setattr(sink, name, value + amount)
+
+
+class TapeStore:
+    """LRU memo of recorded schedule tapes, shared across cohorts.
+
+    Key: ``(program fingerprint, params, max_cycles, halt_messages,
+    scratchpad_words)`` — everything that determines the recorded
+    schedule besides the data images.  Value: ``(tape, template,
+    words)`` where ``template`` is a data-independent
+    :class:`SimulationResult` (cycles/stats/halted only; the
+    scratchpad is per-member).  A hit replays *every* cohort member as
+    a verified follower; the replay's element-wise branch/latch checks
+    (and exact resim on divergence) make sharing safe for any data.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    def get(self, key: tuple) -> Optional[tuple]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, value: tuple) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_TAPE_STORE = TapeStore()
+
+
+def default_tape_store() -> TapeStore:
+    """The process-wide tape memo.
+
+    Worker-pool initializers and distributed-worker engine resets clear
+    it so a fresh engine starts from a cold memo.
+    """
+    return _TAPE_STORE
 
 
 # ----------------------------------------------------------------------
@@ -202,9 +323,18 @@ class _CohortReplay:
     """SoA state for the followers of one cohort, driven by the tape."""
 
     def __init__(self, program: ArrayProgram, params: ArchParams,
-                 follower_runs: Sequence[BatchRun], words: int) -> None:
+                 follower_runs: Sequence[BatchRun], words: int,
+                 sinks: Sequence = ()) -> None:
         self.program = program
         self.params = params
+        self._sinks = sinks
+        #: id(object vector) -> (object vector, int64 view or None).
+        #: The strong reference to the vector prevents CPython from
+        #: recycling an id onto a new array mid-replay.  A view is
+        #: valid for every row of the ``_sel`` it was built against;
+        #: ``_sel`` only shrinks, so cached views never go stale.
+        self._int_views: Dict[int, Tuple[np.ndarray,
+                                         Optional[np.ndarray]]] = {}
         self.count = len(follower_runs)
         self.words = words
         self.banks = params.sram_banks
@@ -270,7 +400,38 @@ class _CohortReplay:
     def _vector(self, value) -> np.ndarray:
         out = np.empty(self.count, dtype=object)
         out[:] = value
+        if type(value) is int and -OPERAND_LIMIT <= value <= OPERAND_LIMIT:
+            # Broadcasts are eligibility-checked once, not per row.
+            self._int_views[id(out)] = (
+                out, np.full(self.count, value, dtype=np.int64)
+            )
         return out
+
+    def _int_view(self, vec: np.ndarray) -> Optional[np.ndarray]:
+        """The int64 image of ``vec``, or None if it is vector-ineligible.
+
+        Eligible means every *active* row holds a Python int with
+        ``abs(v) <= OPERAND_LIMIT`` (the bound `sim/vector_ops.py`
+        proves overflow-safe on int64).  ``type(v) is int`` is exact on
+        purpose: bools and numpy scalars would change result types
+        under the type-strict ``_same_scalar`` contract, floats would
+        silently truncate.  The verdict is cached by vector identity —
+        produced vectors (ufunc results, broadcasts) pre-register
+        their views so only memory-derived values pay the row scan.
+        """
+        cached = self._int_views.get(id(vec))
+        if cached is not None and cached[0] is vec:
+            return cached[1]
+        view: Optional[np.ndarray] = np.zeros(self.count, dtype=np.int64)
+        for row in self._sel:
+            v = vec[row]
+            if type(v) is int and -OPERAND_LIMIT <= v <= OPERAND_LIMIT:
+                view[row] = v
+            else:
+                view = None
+                break
+        self._int_views[id(vec)] = (vec, view)
+        return view
 
     def _read_operand(self, pe: int, operand: Operand) -> np.ndarray:
         if operand.kind is OperandKind.PORT:
@@ -370,17 +531,8 @@ class _CohortReplay:
         kind = instruction.kind
         if kind is DataKind.COMPUTE:
             assert instruction.opcode is not None
-            fn = op_info(instruction.opcode).evaluate
-            assert fn is not None
-            out = np.empty(self.count, dtype=object)
-            # Row-by-row with the scalar evaluate: exactness beats
-            # ufunc throughput here (see module docstring).
-            for row in self._sel:
-                out[row] = fn(*(vec[row] for vec in firing.values))
-            if leader_branch is not None:
-                bad = [row for row in self._sel
-                       if bool(out[row]) != leader_branch]
-                self._diverge_rows(bad)
+            out = self._evaluate(instruction.opcode, firing.values,
+                                 leader_branch)
             for dest in instruction.dests:
                 if dest.kind is DestKind.REG:
                     self.regs[(pe, dest.port)] = out
@@ -401,7 +553,58 @@ class _CohortReplay:
             return ("value", instruction.dests, vec)
         raise _ReplayDiverged(f"unexpected firing of {kind}")
 
+    def _evaluate(self, opcode, values: Tuple[np.ndarray, ...],
+                  leader_branch) -> np.ndarray:
+        """Evaluate one firing over the cohort column.
+
+        Vector fast path: every operand has an int64 view and the
+        opcode has a vetted numpy equivalent — one ufunc call replaces
+        the row loop, and the branch check vectorizes too.  Results
+        convert back through ``.tolist()`` so rows hold exact Python
+        ints (never numpy scalars, which ``_same_scalar`` would
+        reject), and re-register their int64 image when it stays in
+        bounds so chained int firings never rescan rows.
+        """
+        vfn = VECTOR_OPS.get(opcode)
+        if vfn is not None:
+            views = [self._int_view(vec) for vec in values]
+            if all(view is not None for view in views):
+                start = time.perf_counter()
+                res = vfn(*views)
+                out = np.empty(self.count, dtype=object)
+                out[:] = res.tolist()
+                sel = self._sel
+                if sel.size and (np.abs(res[sel]) <= OPERAND_LIMIT).all():
+                    self._int_views[id(out)] = (out, res)
+                if leader_branch is not None:
+                    bad = sel[(res[sel] != 0) != leader_branch]
+                    if bad.size:
+                        self._diverge_rows(bad)
+                _accrue(self._sinks, "vector_seconds",
+                        time.perf_counter() - start)
+                _accrue(self._sinks, "vector_evals")
+                return out
+        fn = op_info(opcode).evaluate
+        assert fn is not None
+        out = np.empty(self.count, dtype=object)
+        # Row-by-row with the scalar evaluate: exactness for floats,
+        # huge ints, and unvetted ops (see sim/vector_ops.py).
+        for row in self._sel:
+            out[row] = fn(*(vec[row] for vec in values))
+        if leader_branch is not None:
+            bad = [row for row in self._sel
+                   if bool(out[row]) != leader_branch]
+            self._diverge_rows(bad)
+        _accrue(self._sinks, "scalar_evals")
+        return out
+
     def _indices(self, vec: np.ndarray) -> np.ndarray:
+        view = self._int_view(vec)
+        if view is not None:
+            # Rows outside ``_sel`` hold zeros in the cached image,
+            # exactly like the scalar loop below leaves them; inactive
+            # rows are masked out of every downstream access anyway.
+            return view
         out = np.zeros(self.count, dtype=np.int64)
         for row in self._sel:
             out[row] = int(vec[row])
@@ -519,11 +722,27 @@ def _simulate_single(program: ArrayProgram, params: ArchParams,
     return sim.run(max_cycles=max_cycles, halt_messages=halt_messages)
 
 
+def _replay_cohort(replay: _CohortReplay, tape: _Tape,
+                   sinks: Sequence) -> set:
+    """Drive a follower replay, timing it; return the diverged offsets."""
+    start = time.perf_counter()
+    try:
+        replay.replay(tape)
+    except _ReplayDiverged:
+        replay.active[:] = False
+        replay.diverged = list(range(replay.count))
+    _accrue(sinks, "replay_seconds", time.perf_counter() - start)
+    return set(replay.diverged)
+
+
 def simulate_batch(params: ArchParams, program: ArrayProgram,
                    runs: Sequence[BatchRun], *,
                    scratchpad_words: Optional[int] = None,
                    max_cycles: int = 200_000,
-                   halt_messages: int = 1) -> List[SimulationResult]:
+                   halt_messages: int = 1,
+                   stats=None,
+                   tape_store: Optional[TapeStore] = None
+                   ) -> List[SimulationResult]:
     """Simulate ``runs`` of one program, batching wherever legal.
 
     Results are positionally aligned with ``runs`` and bit-identical —
@@ -532,14 +751,53 @@ def simulate_batch(params: ArchParams, program: ArrayProgram,
     differential matrix in ``tests/test_sim_event.py`` enforces this).
     Per-run ``SimulationError``s (out-of-bounds accesses, runaway
     loops) propagate exactly as a solo simulation would raise them.
+
+    ``stats`` is an optional extra counter sink (any object with a
+    subset of :class:`BatchStats`' fields, e.g. ``EngineStats``); the
+    process-wide :func:`batch_stats` always accrues.  ``tape_store``
+    overrides the process-wide memo (pass a fresh :class:`TapeStore`
+    to isolate, e.g. in tests).
     """
     program.validate()
+    sinks: Tuple = (_GLOBAL_STATS,) if stats is None else (
+        _GLOBAL_STATS, stats)
+    store = _TAPE_STORE if tape_store is None else tape_store
+    fingerprint = program.fingerprint()
     results: List[Optional[SimulationResult]] = [None] * len(runs)
     cohorts: Dict[ArchParams, List[int]] = {}
     for position, run in enumerate(runs):
         cohorts.setdefault(run.params or params, []).append(position)
 
     for cohort_params, members in cohorts.items():
+        key = (fingerprint, cohort_params, max_cycles, halt_messages,
+               scratchpad_words)
+        cached = store.get(key)
+        if cached is not None:
+            # Tape-store hit: no leader to record — every member is a
+            # follower, and the replay's verification (plus exact
+            # resim of diverged rows) covers arbitrary data.
+            tape, template, words = cached
+            _accrue(sinks, "tape_hits")
+            replay = _CohortReplay(
+                program, cohort_params, [runs[p] for p in members],
+                words, sinks=sinks,
+            )
+            diverged = _replay_cohort(replay, tape, sinks)
+            _accrue(sinks, "fallback_rows", len(diverged))
+            for offset, position in enumerate(members):
+                if offset in diverged:
+                    results[position] = _simulate_single(
+                        program, cohort_params, runs[position],
+                        scratchpad_words=scratchpad_words,
+                        max_cycles=max_cycles,
+                        halt_messages=halt_messages,
+                    )
+                else:
+                    results[position] = replay.result_for(
+                        offset, template
+                    )
+            continue
+
         leader_pos, follower_pos = members[0], members[1:]
         tape = _Tape()
         leader = _RecordingSimulator(
@@ -549,9 +807,11 @@ def simulate_batch(params: ArchParams, program: ArrayProgram,
         words = leader.scratchpad.words
         replay = (
             _CohortReplay(program, cohort_params,
-                          [runs[p] for p in follower_pos], words)
+                          [runs[p] for p in follower_pos], words,
+                          sinks=sinks)
             if follower_pos else None
         )
+        start = time.perf_counter()
         try:
             for name, values in runs[leader_pos].arrays.items():
                 leader.load_array(name, values)
@@ -559,8 +819,12 @@ def simulate_batch(params: ArchParams, program: ArrayProgram,
                 max_cycles=max_cycles, halt_messages=halt_messages
             )
         except SimulationError:
+            _accrue(sinks, "record_seconds",
+                    time.perf_counter() - start)
             # The leader itself fails: nothing to replay.  Re-run every
             # member individually so errors surface per run, in order.
+            # (No tape is stored — a failing schedule is not reusable.)
+            _accrue(sinks, "fallback_rows", len(members))
             for position in members:
                 results[position] = _simulate_single(
                     program, cohort_params, runs[position],
@@ -568,15 +832,25 @@ def simulate_batch(params: ArchParams, program: ArrayProgram,
                     max_cycles=max_cycles, halt_messages=halt_messages,
                 )
             continue
+        _accrue(sinks, "record_seconds", time.perf_counter() - start)
+        # Store a data-independent template (the scratchpad image is
+        # per-member; result_for only reads cycles/stats/halted).
+        store.put(key, (
+            tape,
+            SimulationResult(
+                cycles=leader_result.cycles,
+                stats=copy.deepcopy(leader_result.stats),
+                scratchpad=None,
+                halted=leader_result.halted,
+            ),
+            words,
+        ))
+        _accrue(sinks, "tape_records")
         results[leader_pos] = leader_result
         if replay is None:
             continue
-        try:
-            replay.replay(tape)
-        except _ReplayDiverged:
-            replay.active[:] = False
-            replay.diverged = list(range(replay.count))
-        diverged = set(replay.diverged)
+        diverged = _replay_cohort(replay, tape, sinks)
+        _accrue(sinks, "fallback_rows", len(diverged))
         for offset, position in enumerate(follower_pos):
             if offset in diverged:
                 results[position] = _simulate_single(

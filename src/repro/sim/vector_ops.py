@@ -1,0 +1,101 @@
+"""Vetted numpy equivalents of the scalar opcode evaluators.
+
+The batch follower data plane (`sim/batch.py`) may evaluate a whole
+cohort column with one numpy call — but only when doing so is provably
+bit-identical to running the scalar ``evaluate`` function from
+`ir/ops.py` row by row.  This module is the single place that proof
+lives:
+
+* every entry in :data:`VECTOR_OPS` maps an opcode to an int64 ufunc
+  expression whose result equals the scalar evaluator **exactly** for
+  Python-int operands bounded by :data:`OPERAND_LIMIT`;
+* opcodes absent from the table (DIV/MOD, the float transcendentals,
+  CONST/INPUT/LOAD/STORE) never take the vector path — DIV/MOD because
+  zero divisors must raise :class:`~repro.errors.IRError` per row and
+  C-style truncation differs from numpy's floor division, floats
+  because their repr-sensitive formatting is part of the bit-identity
+  contract.
+
+Why the :data:`OPERAND_LIMIT` bound (|v| <= 2**31 - 1) makes int64
+arithmetic exact:
+
+=========  =====================================================
+op         worst-case magnitude on bounded inputs
+=========  =====================================================
+ADD/SUB    < 2**32                      (fits int64)
+MUL        <= 2**62                     (fits int64)
+MIN/MAX    bounded by inputs
+ABS/NEG    <= 2**31 - 1
+AND/OR/..  operands masked to [0, 2**32); results likewise
+SHL        ((a & MASK) << 31) < 2**63   (fits int64)
+SHR        masked operand >> s, non-negative
+EQ..GE     0 or 1
+SELECT     picks one bounded operand
+=========  =====================================================
+
+The 32-bit ops mask with ``& 0xFFFFFFFF`` *before* shifting/combining,
+which matches Python's two's-complement ``&`` on negative ints — numpy
+int64 uses two's complement as well, so the masked low 32 bits agree.
+`tests/test_vector_ops.py` additionally proves every table entry
+against the scalar evaluator by exhaustive differential sweeps over
+boundary operands.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.ir.ops import Opcode
+
+#: Vector eligibility bound: operands must be Python ints with
+#: ``abs(v) <= OPERAND_LIMIT`` for the int64 proofs above to hold.
+OPERAND_LIMIT = 2**31 - 1
+
+_MASK = np.int64(0xFFFFFFFF)
+_SHIFT_BITS = np.int64(31)
+
+
+def _cmp(ufunc: Callable) -> Callable[..., np.ndarray]:
+    def run(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ufunc(a, b).astype(np.int64)
+
+    return run
+
+
+def _shl(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # Low 32 bits of (a << s) depend only on the low 32 bits of a, so
+    # masking first keeps the intermediate below 2**63 (no int64
+    # overflow) while matching _wrap32(a << (b & 31)) exactly.
+    return ((a & _MASK) << (b & _SHIFT_BITS)) & _MASK
+
+
+def _shr(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a & _MASK) >> (b & _SHIFT_BITS)
+
+
+#: Opcode -> int64 vector evaluator, bit-identical to the scalar
+#: ``op_info(op).evaluate`` for bounded Python-int operands.
+VECTOR_OPS: Dict[Opcode, Callable[..., np.ndarray]] = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.MIN: np.minimum,
+    Opcode.MAX: np.maximum,
+    Opcode.ABS: np.abs,
+    Opcode.NEG: np.negative,
+    Opcode.AND: lambda a, b: (a & _MASK) & (b & _MASK),
+    Opcode.OR: lambda a, b: (a & _MASK) | (b & _MASK),
+    Opcode.XOR: lambda a, b: (a & _MASK) ^ (b & _MASK),
+    Opcode.NOT: lambda a: (~a) & _MASK,
+    Opcode.SHL: _shl,
+    Opcode.SHR: _shr,
+    Opcode.EQ: _cmp(np.equal),
+    Opcode.NE: _cmp(np.not_equal),
+    Opcode.LT: _cmp(np.less),
+    Opcode.LE: _cmp(np.less_equal),
+    Opcode.GT: _cmp(np.greater),
+    Opcode.GE: _cmp(np.greater_equal),
+    Opcode.SELECT: lambda c, a, b: np.where(c != 0, a, b),
+}

@@ -75,6 +75,32 @@ class TestCli:
                      "--format", "json", "--stats"]) == 2
         assert "phased execution would skew" in capsys.readouterr().err
 
+    def test_group_size_must_be_at_least_one(self, capsys):
+        assert main(["bench", "--scale", "tiny",
+                     "--group-size", "0"]) == 2
+        assert "must be at least 1" in capsys.readouterr().err
+        assert main(["bench", "--scale", "tiny",
+                     "--group-size", "-3"]) == 2
+        assert "must be at least 1" in capsys.readouterr().err
+
+    def test_group_size_rejected_with_no_group(self, capsys):
+        # Bounding groups and disabling grouping contradict each other;
+        # refuse rather than pick a winner silently.
+        assert main(["bench", "--scale", "tiny", "--no-group",
+                     "--group-size", "4"]) == 2
+        assert "pick one" in capsys.readouterr().err
+
+    def test_group_flags_leave_report_bytes_unchanged(self, capsys):
+        assert main(["bench", "--scale", "tiny",
+                     "--format", "json"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["bench", "--scale", "tiny", "--format", "json",
+                     "--group-size", "1"]) == 0
+        assert capsys.readouterr().out == baseline
+        assert main(["bench", "--scale", "tiny", "--format", "json",
+                     "--no-group"]) == 0
+        assert capsys.readouterr().out == baseline
+
     def test_arch_and_arch_sweep_mutually_exclusive(self, capsys):
         assert main(["bench", "--scale", "tiny",
                      "--arch", "examples/arch/marionette_default.json",

@@ -1,0 +1,324 @@
+"""Differential property suite for the vectorized follower data plane.
+
+Three layers of proof that the vector fast path cannot be observed:
+
+* **op-table differential** — every entry in
+  :data:`repro.sim.vector_ops.VECTOR_OPS` is evaluated over a boundary
+  operand grid (zeros, sign flips, shift-count edges, ``±OPERAND_LIMIT``)
+  and must reproduce the scalar :func:`repro.ir.ops.op_info` semantics
+  bit-for-bit, returning exact Python ints;
+* **cohort differential** — lockstep batches whose data is int-only,
+  float, bool, overflow-boundary, or out-of-bounds must all stay
+  bit-identical to per-member naive runs, with the
+  :class:`~repro.sim.batch.BatchStats` counters proving which path ran
+  (vector hit, scalar row loop, or divergence fallback);
+* **tape sharing** — equal-geometry cohorts replay one recorded tape
+  (``tape_records``/``tape_hits``), and a shared tape never changes a
+  member's result.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.engine.executor import EngineStats
+from repro.ir.ops import Opcode, op_info
+from repro.sim.batch import (
+    BatchRun,
+    TapeStore,
+    batch_stats,
+    simulate_batch,
+)
+from repro.sim.vector_ops import OPERAND_LIMIT, VECTOR_OPS
+
+from test_sim_array import vec_mul_program
+from test_sim_event import data_branch_program, run_naive, assert_identical
+
+# Operand values that stress every overflow proof in vector_ops.py:
+# sign flips, wrap32 edges, shift counts at/over the 31-bit mask, and
+# the eligibility bound itself (inclusive on both sides).
+BOUNDARY = (
+    0, 1, -1, 2, -2, 3, 30, 31, 32, 33, -31, -33,
+    1000, -1000, 0x7FFFFFFE, OPERAND_LIMIT, -OPERAND_LIMIT,
+)
+
+UNARY_OPS = {Opcode.ABS, Opcode.NEG, Opcode.NOT}
+TERNARY_OPS = {Opcode.SELECT}
+
+
+def _columns(arity):
+    """All boundary tuples of the given arity, as parallel int64 columns."""
+    if arity == 3:
+        # The full cube is 17^3; condition values only matter as
+        # zero/nonzero, so three representatives suffice.
+        rows = [(c, a, b) for c in (0, 1, -1)
+                for a, b in itertools.product(BOUNDARY, BOUNDARY)]
+    else:
+        rows = list(itertools.product(BOUNDARY, repeat=arity))
+    return rows, [np.array(col, dtype=np.int64)
+                  for col in zip(*rows)]
+
+
+class TestOpTableDifferential:
+    @pytest.mark.parametrize("opcode", sorted(VECTOR_OPS, key=lambda o: o.name))
+    def test_vector_matches_scalar_bit_for_bit(self, opcode):
+        arity = 3 if opcode in TERNARY_OPS else \
+            1 if opcode in UNARY_OPS else 2
+        rows, columns = _columns(arity)
+        scalar = op_info(opcode).evaluate
+        got = VECTOR_OPS[opcode](*columns).tolist()
+        expected = [scalar(*operands) for operands in rows]
+        assert got == expected
+        assert all(type(value) is int for value in got)
+
+    def test_vetted_table_excludes_trapping_and_float_ops(self):
+        """DIV/MOD raise per-row (zero divisor) and the nonlinear ops
+        are float math — none may gain a vector entry without a proof
+        of identical per-row failure semantics."""
+        banned = {Opcode.DIV, Opcode.MOD, Opcode.LOG, Opcode.EXP,
+                  Opcode.SQRT, Opcode.SIGMOID, Opcode.SIN, Opcode.COS}
+        assert banned.isdisjoint(VECTOR_OPS)
+
+    def test_arity_of_every_vetted_op_matches_the_isa(self):
+        for opcode in VECTOR_OPS:
+            arity = 3 if opcode in TERNARY_OPS else \
+                1 if opcode in UNARY_OPS else 2
+            assert op_info(opcode).arity == arity
+
+
+# ----------------------------------------------------------------------
+# Cohort differential: the fast path must be unobservable
+# ----------------------------------------------------------------------
+def _batch_vs_naive(params, program, member_arrays, *, stats=None,
+                    halt_messages=999):
+    """Simulate one lockstep batch (isolated tape store) and assert
+    every member bit-identical to its standalone naive run."""
+    results = simulate_batch(
+        params, program,
+        [BatchRun(arrays=arrays) for arrays in member_arrays],
+        halt_messages=halt_messages, stats=stats,
+        tape_store=TapeStore(),
+    )
+    for member, arrays in zip(results, member_arrays):
+        assert_identical(
+            run_naive(params, program, arrays,
+                      halt_messages=halt_messages),
+            member,
+        )
+    return results
+
+
+class TestCohortDifferential:
+    def test_int_cohort_takes_the_vector_path(self, params):
+        n = 12
+        rng = np.random.default_rng(5)
+        members = [{"A": rng.integers(1, 100, n),
+                    "B": rng.integers(1, 100, n)} for _ in range(8)]
+        stats = EngineStats()
+        _batch_vs_naive(params, vec_mul_program(params, n), members,
+                        stats=stats)
+        assert stats.vector_evals > 0
+        assert stats.fallback_rows == 0
+
+    def test_float_members_run_the_scalar_rows(self, params):
+        n = 8
+        members = [
+            {"A": [i + member / 4 for i in range(1, n + 1)],
+             "B": [0.5] * n}
+            for member in range(4)
+        ]
+        stats = EngineStats()
+        _batch_vs_naive(params, vec_mul_program(params, n), members,
+                        stats=stats)
+        assert stats.vector_evals == 0
+        assert stats.scalar_evals > 0
+
+    def test_bool_operands_are_ineligible(self, params):
+        """``True``/``False`` are int-valued but not ``int`` — the
+        scalar plane propagates the bool type, so the vector path
+        (which would coerce to int) must refuse the column."""
+        n = 6
+        members = [
+            {"A": [bool((i + member) % 2) for i in range(n)],
+             "B": list(range(1, n + 1))}
+            for member in range(4)
+        ]
+        stats = EngineStats()
+        _batch_vs_naive(params, vec_mul_program(params, n), members,
+                        stats=stats)
+        assert stats.vector_evals == 0
+        assert stats.scalar_evals > 0
+
+    def test_mixed_type_rows_fall_back_together(self, params):
+        """One float row poisons the column for that firing — the whole
+        firing takes the scalar loop (per-row mixing would split the
+        type discipline) and stays exact."""
+        n = 8
+        members = [{"A": list(range(1, n + 1)),
+                    "B": list(range(2, n + 2))} for _ in range(4)]
+        members[2]["A"] = [float(v) + 0.25 for v in members[2]["A"]]
+        stats = EngineStats()
+        _batch_vs_naive(params, vec_mul_program(params, n), members,
+                        stats=stats)
+        assert stats.vector_evals == 0
+        assert stats.scalar_evals > 0
+
+    def test_limit_operands_are_still_eligible_and_exact(self, params):
+        """``±OPERAND_LIMIT`` is inside the bound (inclusive): products
+        reach 2**62 in the int64 plane and must come back exact."""
+        n = 4
+        members = [
+            {"A": [OPERAND_LIMIT, -OPERAND_LIMIT,
+                   OPERAND_LIMIT, -OPERAND_LIMIT],
+             "B": [OPERAND_LIMIT, OPERAND_LIMIT,
+                   -OPERAND_LIMIT, member + 1]}
+            for member in range(4)
+        ]
+        stats = EngineStats()
+        results = _batch_vs_naive(
+            params, vec_mul_program(params, n), members, stats=stats,
+        )
+        assert stats.vector_evals > 0
+        out_base = 2 * n
+        image = results[0].scratchpad.data[out_base:out_base + n]
+        assert image[0] == OPERAND_LIMIT * OPERAND_LIMIT
+
+    def test_operands_past_the_limit_force_the_scalar_rows(self, params):
+        n = 4
+        members = [{"A": [OPERAND_LIMIT + 1] * n,
+                    "B": [member + 1] * n} for member in range(4)]
+        stats = EngineStats()
+        _batch_vs_naive(params, vec_mul_program(params, n), members,
+                        stats=stats)
+        assert stats.vector_evals == 0
+        assert stats.scalar_evals > 0
+
+    def test_divergent_branches_accrue_fallback_rows(self, params):
+        n = 24
+        rng = np.random.default_rng(7)
+        members = [{"A": rng.integers(0, 50, n)} for _ in range(8)]
+        stats = EngineStats()
+        _batch_vs_naive(params, data_branch_program(params, n), members,
+                        stats=stats)
+        assert stats.fallback_rows > 0
+
+    def test_global_stats_accrue_alongside_the_sink(self, params):
+        n = 8
+        members = [{"A": np.arange(1, n + 1),
+                    "B": np.arange(2, n + 2)} for _ in range(4)]
+        before = batch_stats().as_dict()
+        stats = EngineStats()
+        _batch_vs_naive(params, vec_mul_program(params, n), members,
+                        stats=stats)
+        after = batch_stats().as_dict()
+        for key in ("vector_evals", "scalar_evals", "tape_records"):
+            assert after[key] - before[key] == getattr(stats, key)
+
+    def test_engine_stats_surface_the_batch_counters(self):
+        stats = EngineStats().as_dict()
+        for key in ("vector_evals", "scalar_evals", "fallback_rows",
+                    "tape_hits", "tape_records"):
+            assert stats[key] == 0
+
+
+# ----------------------------------------------------------------------
+# Cross-cohort tape sharing
+# ----------------------------------------------------------------------
+class TestTapeSharing:
+    def _members(self, n, count, seed):
+        rng = np.random.default_rng(seed)
+        return [{"A": rng.integers(1, 100, n),
+                 "B": rng.integers(1, 100, n)} for _ in range(count)]
+
+    def test_equal_geometry_cohorts_share_one_tape(self, params):
+        n = 10
+        program = vec_mul_program(params, n)
+        store = TapeStore()
+        first = EngineStats()
+        simulate_batch(params, program,
+                       [BatchRun(arrays=a) for a in self._members(n, 4, 1)],
+                       halt_messages=999, stats=first, tape_store=store)
+        assert first.tape_records == 1
+        assert first.tape_hits == 0
+        assert len(store) == 1
+
+        second = EngineStats()
+        members = self._members(n, 6, 2)
+        results = simulate_batch(
+            params, program, [BatchRun(arrays=a) for a in members],
+            halt_messages=999, stats=second, tape_store=store,
+        )
+        assert second.tape_hits == 1
+        assert second.tape_records == 0
+        # A shared tape is replay-verified per member: results still
+        # match each member's own naive run bit-for-bit.
+        for member, arrays in zip(results, members):
+            assert_identical(
+                run_naive(params, program, arrays, halt_messages=999),
+                member,
+            )
+
+    def test_program_and_truncation_key_the_store(self, params):
+        store = TapeStore()
+        stats = EngineStats()
+        for program in (vec_mul_program(params, 6),
+                        vec_mul_program(params, 12)):
+            simulate_batch(params, program,
+                           [BatchRun(arrays={"A": np.ones(4),
+                                             "B": np.ones(4)})
+                            for _ in range(2)],
+                           halt_messages=999, stats=stats,
+                           tape_store=store)
+        assert stats.tape_records == 2
+        assert stats.tape_hits == 0
+        # Same program under a different cycle budget records again —
+        # a truncated tape must never serve an untruncated cohort.
+        simulate_batch(params, vec_mul_program(params, 6),
+                       [BatchRun(arrays={"A": np.ones(4),
+                                         "B": np.ones(4)})
+                        for _ in range(2)],
+                       halt_messages=999, max_cycles=64,
+                       stats=stats, tape_store=store)
+        assert stats.tape_records == 3
+        assert len(store) == 3
+
+    def test_per_member_params_split_tapes_not_members(self, params):
+        """Cohorts split by per-member params each record (or hit)
+        their own tape under their own params key."""
+        from dataclasses import replace
+
+        n = 6
+        program = vec_mul_program(params, n)
+        slow = replace(params, data_net_latency=9)
+        arrays = {"A": np.arange(1, n + 1), "B": np.arange(2, n + 2)}
+        store = TapeStore()
+        stats = EngineStats()
+        simulate_batch(params, program,
+                       [BatchRun(arrays=arrays),
+                        BatchRun(arrays=arrays, params=slow),
+                        BatchRun(arrays=arrays)],
+                       halt_messages=999, stats=stats, tape_store=store)
+        assert stats.tape_records == 2
+        assert len(store) == 2
+
+    def test_lru_eviction_bounds_the_store(self, params):
+        store = TapeStore(capacity=2)
+        for n in (4, 6, 8):
+            simulate_batch(params, vec_mul_program(params, n),
+                           [BatchRun(arrays={"A": np.ones(2),
+                                             "B": np.ones(2)})
+                            for _ in range(2)],
+                           halt_messages=999, tape_store=store)
+        assert len(store) == 2
+
+    def test_fingerprint_is_structural_and_stable(self, params):
+        a = vec_mul_program(params, 8).fingerprint()
+        b = vec_mul_program(params, 8).fingerprint()
+        c = vec_mul_program(params, 9).fingerprint()
+        assert a == b
+        assert a != c
+        assert len(a) == 64
